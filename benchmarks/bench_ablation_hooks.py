@@ -1,0 +1,30 @@
+"""Ablation: hook placement (Figure 2's three dispatch paths).
+
+Compares, at one representative depth, the application-level traversal,
+the syscall-dispatch hook, and the NVMe-driver hook — quantifying how much
+each eliminated layer is worth, which is the design argument of §3-§4.
+"""
+
+from repro.bench import fig3c_latency, format_table
+
+COLUMNS = ["depth", "baseline_us", "syscall_us", "nvme_us",
+           "nvme_reduction_pct"]
+
+
+def test_ablation_hook_placement(benchmark):
+    rows = benchmark.pedantic(fig3c_latency,
+                              kwargs={"depths": (6,), "operations": 200},
+                              rounds=1, iterations=1)
+    print()
+    print(format_table("Ablation — dispatch path at depth 6", COLUMNS, rows))
+    row = rows[0]
+    benchmark.extra_info["nvme_reduction_pct"] = round(
+        row["nvme_reduction_pct"], 2)
+    # Each deeper hook strictly improves on the previous path.
+    assert row["nvme_us"] < row["syscall_us"] < row["baseline_us"]
+    # The syscall hook saves only crossings + app processing (< 15 %);
+    # the NVMe hook saves several kernel layers per hop (> 30 %).
+    syscall_saving = 1 - row["syscall_us"] / row["baseline_us"]
+    nvme_saving = 1 - row["nvme_us"] / row["baseline_us"]
+    assert syscall_saving < 0.25
+    assert nvme_saving > 0.30

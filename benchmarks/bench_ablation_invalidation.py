@@ -1,0 +1,36 @@
+"""Ablation: extent-cache invalidation rate (§4, Translation & Security).
+
+The paper's protocol is deliberately heavy-handed: any unmap kills every
+in-flight chain and forces a re-install ioctl.  That is cheap only because
+invalidations are rare.  This sweep injects extent churn at increasing
+rates and measures how chain throughput and latency degrade — quantifying
+the "invalidations need to be rare" claim.
+"""
+
+from repro.bench import ablation_invalidation_rate, format_table
+
+COLUMNS = ["churn_interval_us", "klookups_per_s", "mean_latency_us",
+           "invalidations", "refresh_ioctls"]
+
+
+def test_ablation_invalidation_rate(benchmark):
+    rows = benchmark.pedantic(
+        ablation_invalidation_rate,
+        kwargs={"intervals_us": (None, 5000, 1000, 200),
+                "depth": 4, "duration_ns": 8_000_000},
+        rounds=1, iterations=1)
+    print()
+    print(format_table("Ablation — extent churn vs chain throughput",
+                       COLUMNS, rows))
+    benchmark.extra_info["throughput_loss_pct"] = round(
+        100 * (1 - rows[-1]["klookups_per_s"] / rows[0]["klookups_per_s"]),
+        2)
+    # No churn -> no invalidations.
+    assert rows[0]["invalidations"] == 0
+    # More churn -> more invalidations and lower throughput.
+    invalidations = [row["invalidations"] for row in rows]
+    assert all(a <= b for a, b in zip(invalidations, invalidations[1:]))
+    assert rows[-1]["invalidations"] > 0
+    assert rows[-1]["klookups_per_s"] < rows[0]["klookups_per_s"]
+    # At rare churn (5 ms) the cost is negligible (< 5 %).
+    assert rows[1]["klookups_per_s"] > 0.95 * rows[0]["klookups_per_s"]

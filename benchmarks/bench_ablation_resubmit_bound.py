@@ -1,0 +1,34 @@
+"""Ablation: the per-process chained-resubmission bound (§4, Fairness).
+
+The NVMe layer kills chains at the bound; the application continues with a
+fresh bounded chain from where the kill left off.  Tighter bounds cost
+latency (extra full-stack restarts) but cap how long one process can
+monopolise the completion path — the fairness trade the paper proposes.
+"""
+
+from repro.bench import ablation_resubmit_bound, format_table
+
+COLUMNS = ["bound", "chain_length", "kills_per_lookup", "mean_latency_us"]
+
+
+def test_ablation_resubmit_bound(benchmark):
+    rows = benchmark.pedantic(
+        ablation_resubmit_bound,
+        kwargs={"chain_length": 24, "bounds": (2, 4, 8, 16, 64),
+                "lookups": 50},
+        rounds=1, iterations=1)
+    print()
+    print(format_table("Ablation — chained-resubmission bound",
+                       COLUMNS, rows))
+    by_bound = {row["bound"]: row for row in rows}
+    benchmark.extra_info["latency_cost_2_vs_64"] = round(
+        by_bound[2]["mean_latency_us"] / by_bound[64]["mean_latency_us"], 3)
+    # Tighter bounds -> more kills and higher latency, monotonically.
+    latencies = [row["mean_latency_us"] for row in rows]
+    assert all(a >= b for a, b in zip(latencies, latencies[1:]))
+    kills = [row["kills_per_lookup"] for row in rows]
+    assert all(a >= b for a, b in zip(kills, kills[1:]))
+    # A bound >= the chain length never kills.
+    assert by_bound[64]["kills_per_lookup"] == 0
+    # ceil(24/2) - 1 = 11 kills per lookup at the tightest bound.
+    assert by_bound[2]["kills_per_lookup"] == 11

@@ -1,0 +1,33 @@
+"""Figure 1: fraction of 512 B random-read latency spent in kernel software.
+
+Paper's claim: the kernel's share is negligible on an HDD, a few percent on
+a NAND SSD, 10-15 % on first-generation Optane, and about *half* on
+second-generation Optane — which is the whole motivation for pushing BPF
+into the completion path.
+"""
+
+from repro.bench import fig1_latency_breakdown, format_table
+
+COLUMNS = ["device", "total_us", "device_us", "software_us", "software_pct"]
+
+
+def test_fig1_latency_breakdown(benchmark):
+    rows = benchmark.pedantic(fig1_latency_breakdown,
+                              kwargs={"reads": 300}, rounds=1, iterations=1)
+    print()
+    print(format_table("Figure 1 — kernel overhead per device generation",
+                       COLUMNS, rows))
+    by_device = {row["device"]: row for row in rows}
+    benchmark.extra_info["software_pct"] = {
+        name: round(row["software_pct"], 2) for name, row in by_device.items()
+    }
+    # Shape: the software share grows monotonically with device speed.
+    assert (by_device["HDD"]["software_pct"]
+            < by_device["NAND"]["software_pct"]
+            < by_device["NVM-1"]["software_pct"]
+            < by_device["NVM-2"]["software_pct"])
+    # Bands the paper reports.
+    assert by_device["HDD"]["software_pct"] < 1.0
+    assert by_device["NAND"]["software_pct"] < 10.0
+    assert 8.0 <= by_device["NVM-1"]["software_pct"] <= 18.0
+    assert 40.0 <= by_device["NVM-2"]["software_pct"] <= 55.0

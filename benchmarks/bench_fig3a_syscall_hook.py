@@ -1,0 +1,33 @@
+"""Figure 3a: B-tree lookup throughput, reissuing from the syscall layer.
+
+Paper's claim: the syscall-dispatch hook only removes boundary crossings
+and app-side processing — each reissue still walks ext4 and the block
+layer — so the speedup is modest, topping out around 1.25x.
+"""
+
+from repro.bench import fig3_throughput, format_table
+
+COLUMNS = ["depth", "threads", "baseline_klookups", "syscall_klookups",
+           "speedup"]
+
+
+def test_fig3a_syscall_hook(benchmark):
+    rows = benchmark.pedantic(
+        fig3_throughput,
+        kwargs={"hook": "syscall", "depths": (2, 6, 10),
+                "threads": (1, 2, 4, 6, 8, 12),
+                "duration_ns": 8_000_000},
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "Figure 3a — lookups/sec, syscall-dispatch hook vs baseline",
+        COLUMNS, rows))
+    speedups = [row["speedup"] for row in rows]
+    benchmark.extra_info["max_speedup"] = round(max(speedups), 3)
+    # Modest but real gains, bounded the way the paper reports.
+    assert all(speedup > 1.05 for speedup in speedups)
+    assert max(speedups) <= 1.35
+    # Baseline saturates at 6 threads (6 cores).
+    depth6 = {row["threads"]: row for row in rows if row["depth"] == 6}
+    assert depth6[12]["baseline_klookups"] < depth6[6][
+        "baseline_klookups"] * 1.05

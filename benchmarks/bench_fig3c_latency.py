@@ -1,0 +1,35 @@
+"""Figure 3c: single-thread lookup latency vs tree depth, both hooks.
+
+Paper's claims: reissuing from the NVMe driver cuts lookup latency by up
+to ~49 % (approaching the asymptote with depth); the syscall hook saves
+far less.  The depth-1 row is the crossover the paper implies: with no
+dependent I/O to chain there is nothing to win, and the interrupt-driven
+chain completion costs slightly more than a polled read.
+"""
+
+from repro.bench import fig3c_latency, format_table
+
+COLUMNS = ["depth", "baseline_us", "syscall_us", "nvme_us",
+           "nvme_reduction_pct"]
+
+
+def test_fig3c_latency(benchmark):
+    rows = benchmark.pedantic(
+        fig3c_latency,
+        kwargs={"depths": (1, 2, 3, 4, 6, 8, 10, 16), "operations": 100},
+        rounds=1, iterations=1)
+    print()
+    print(format_table("Figure 3c — single-thread lookup latency",
+                       COLUMNS, rows))
+    by_depth = {row["depth"]: row for row in rows}
+    benchmark.extra_info["max_reduction_pct"] = round(
+        max(row["nvme_reduction_pct"] for row in rows), 2)
+    # Latency reduction grows with depth toward the paper's ~49 %.
+    reductions = [row["nvme_reduction_pct"] for row in rows]
+    assert all(b >= a for a, b in zip(reductions, reductions[1:]))
+    assert 40.0 <= by_depth[16]["nvme_reduction_pct"] <= 52.0
+    # The syscall hook helps, but much less.
+    assert by_depth[10]["syscall_us"] < by_depth[10]["baseline_us"]
+    assert by_depth[10]["nvme_us"] < by_depth[10]["syscall_us"]
+    # Depth 1: nothing to chain, so the hook cannot win.
+    assert by_depth[1]["nvme_reduction_pct"] < 0

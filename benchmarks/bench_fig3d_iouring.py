@@ -1,0 +1,44 @@
+"""Figure 3d: single-thread io_uring lookups, NVMe hook vs plain io_uring.
+
+Paper's claims: increasing the batch size increases the speedup (each tree
+level saves `batch` concurrently reissued requests); with deep trees BPF +
+io_uring delivers > 2.5x.  Both systems run on one core with completion
+interrupts steered to the submitting CPU.
+
+Known deviation (documented in EXPERIMENTS.md): at depth 3 the paper
+reports 1.3-1.5x where we measure ~2-3x — our per-hop resubmission cost is
+calibrated against Figure 3c's 49 % latency cut, which makes chained hops
+cheaper relative to the baseline than the authors' proxy implementation.
+"""
+
+from repro.bench import fig3d_iouring, format_table
+
+COLUMNS = ["depth", "batch", "baseline_klookups", "bpf_klookups", "speedup"]
+
+
+def test_fig3d_iouring(benchmark):
+    rows = benchmark.pedantic(
+        fig3d_iouring,
+        kwargs={"depths": (3, 6, 10), "batches": (1, 2, 4, 8, 16, 32),
+                "duration_ns": 8_000_000},
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "Figure 3d — io_uring lookups/sec, NVMe hook vs unmodified",
+        COLUMNS, rows))
+    benchmark.extra_info["max_speedup"] = round(
+        max(row["speedup"] for row in rows), 3)
+
+    def series(depth):
+        return [row["speedup"] for row in rows if row["depth"] == depth]
+
+    # Speedup grows with batch size at every depth (the headline shape).
+    for depth in (3, 6, 10):
+        speedups = series(depth)
+        assert speedups[-1] > speedups[0] * 1.3, f"depth {depth}"
+    # Deep trees exceed the paper's >2.5x bar.
+    assert max(series(10)) > 2.5
+    # Deeper trees gain more at equal batch size.
+    big_batch = {row["depth"]: row["speedup"] for row in rows
+                 if row["batch"] == 32}
+    assert big_batch[10] > big_batch[3]

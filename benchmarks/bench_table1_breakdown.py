@@ -1,0 +1,26 @@
+"""Table 1: per-layer latency of a 512 B random read() on gen-2 Optane.
+
+Paper's numbers (ns): kernel crossing 351, read syscall 199, ext4 2006,
+bio 379, NVMe driver 113, device 3224 — 6.27 us total, ~48.6 % software.
+"""
+
+from repro.bench import format_table, table1_breakdown
+
+COLUMNS = ["layer", "measured_ns", "paper_ns", "measured_pct"]
+
+
+def test_table1_breakdown(benchmark):
+    rows = benchmark.pedantic(table1_breakdown, kwargs={"reads": 300},
+                              rounds=1, iterations=1)
+    print()
+    print(format_table("Table 1 — 512 B read() latency breakdown (NVM-2)",
+                       COLUMNS, rows))
+    by_layer = {row["layer"]: row for row in rows}
+    benchmark.extra_info["total_ns"] = by_layer["total"]["measured_ns"]
+    # Every layer within 2 % of the paper's measurement.
+    for layer, row in by_layer.items():
+        assert abs(row["measured_ns"] - row["paper_ns"]) <= \
+            max(2, 0.02 * row["paper_ns"]), layer
+    # The file system dominates the software side; the device is ~half.
+    assert by_layer["ext4"]["measured_pct"] > 25.0
+    assert 45.0 <= by_layer["storage device"]["measured_pct"] <= 55.0

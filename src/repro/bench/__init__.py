@@ -1,0 +1,46 @@
+"""Benchmark harness: one experiment function per paper table/figure.
+
+* :mod:`~repro.bench.tables` — fixed-width table rendering for results.
+* :mod:`~repro.bench.runner` — closed-loop multi-threaded experiment
+  driver over the simulated kernel.
+* :mod:`~repro.bench.experiments` — the figure/table reproductions:
+  ``fig1_latency_breakdown``, ``table1_breakdown``, ``fig3_throughput``
+  (3a/3b), ``fig3c_latency``, ``fig3d_iouring``, ``extent_stability``
+  (§4's YCSB measurement), and the ablations.
+
+Each experiment returns plain row dictionaries so the ``benchmarks/``
+pytest files, ``EXPERIMENTS.md``, and tests all consume the same data.
+"""
+
+from repro.bench.experiments import (
+    ablation_app_cache,
+    interference,
+    ablation_invalidation_rate,
+    ablation_resubmit_bound,
+    ablation_vm_mode,
+    extent_stability,
+    fig1_latency_breakdown,
+    fig3_throughput,
+    fig3c_latency,
+    fig3d_iouring,
+    table1_breakdown,
+)
+from repro.bench.runner import BtreeBench, run_closed_loop
+from repro.bench.tables import format_table
+
+__all__ = [
+    "BtreeBench",
+    "ablation_app_cache",
+    "ablation_invalidation_rate",
+    "ablation_resubmit_bound",
+    "ablation_vm_mode",
+    "extent_stability",
+    "fig1_latency_breakdown",
+    "fig3_throughput",
+    "fig3c_latency",
+    "fig3d_iouring",
+    "format_table",
+    "interference",
+    "run_closed_loop",
+    "table1_breakdown",
+]

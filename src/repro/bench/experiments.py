@@ -1,0 +1,641 @@
+"""The figure/table reproductions and ablations.
+
+Every function returns a list of row dicts (and takes explicit scale
+parameters, so tests can run miniature versions of the same code the
+benchmarks run at full scale).  The module docstrings of the individual
+functions state the paper's expectation for the shape of the result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import Hook, StorageBpf
+from repro.core.extent_cache import NvmeExtentCache
+from repro.core.library import index_traversal_program, linked_list_program
+from repro.device import DEVICE_PROFILES, LatencyModel
+from repro.kernel import CostModel, IoUring, Kernel, KernelConfig
+from repro.sim import Simulator, ThroughputMeter
+from repro.structures import BTree, FsBackend, KvStore
+from repro.structures.pages import PAGE_SIZE, search_page
+from repro.workloads import OpType, YcsbWorkload
+from repro.sim.rng import RandomStreams
+from repro.bench.runner import NVM2_BENCH, BtreeBench, run_closed_loop
+
+__all__ = [
+    "ablation_app_cache",
+    "interference",
+    "ablation_invalidation_rate",
+    "ablation_resubmit_bound",
+    "ablation_vm_mode",
+    "extent_stability",
+    "fig1_latency_breakdown",
+    "fig3_throughput",
+    "fig3c_latency",
+    "fig3d_iouring",
+    "table1_breakdown",
+]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — kernel overhead fraction across device generations
+# ---------------------------------------------------------------------------
+
+
+def fig1_latency_breakdown(reads: int = 200) -> List[Dict]:
+    """Figure 1: software share of a 512 B random read per device.
+
+    Paper's shape: negligible on HDD, a few percent on NAND, 10-15 % on
+    first-generation Optane, about half on second-generation Optane.
+    """
+    from dataclasses import replace
+
+    rows = []
+    for name in ("hdd", "nand", "nvm1", "nvm2"):
+        # Jitter-free device models so the software share is exact.
+        model = replace(DEVICE_PROFILES[name], jitter=0.0)
+        sim = Simulator()
+        kernel = Kernel(sim, model, KernelConfig(seed=1))
+        kernel.create_file("/data", bytes(1 << 20))
+        proc = kernel.spawn_process()
+        rng = RandomStreams(2).stream(f"fig1-{name}")
+        total = 0
+
+        def workload():
+            nonlocal total
+            fd = yield from kernel.sys_open(proc, "/data")
+            for _ in range(reads):
+                offset = rng.randrange(2048) * 512
+                start = sim.now
+                yield from kernel.sys_pread(proc, fd, offset, 512)
+                total += sim.now - start
+
+        kernel.run_syscall(workload())
+        mean_total = total / reads
+        device_ns = model.read_ns
+        software_ns = mean_total - device_ns
+        rows.append({
+            "device": model.name,
+            "total_us": mean_total / 1000,
+            "device_us": device_ns / 1000,
+            "software_us": software_ns / 1000,
+            "software_pct": 100.0 * software_ns / mean_total,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — per-layer latency breakdown on gen-2 Optane
+# ---------------------------------------------------------------------------
+
+#: The paper's Table 1, for comparison columns.
+TABLE1_PAPER = {
+    "kernel crossing": 351,
+    "read syscall": 199,
+    "ext4": 2006,
+    "bio": 379,
+    "NVMe driver": 113,
+    "storage device": 3224,
+}
+
+
+def table1_breakdown(reads: int = 200) -> List[Dict]:
+    """Table 1: where a 512 B read's 6.27 us go on gen-2 Optane."""
+    cost = CostModel()
+    sim = Simulator()
+    kernel = Kernel(sim, NVM2_BENCH, KernelConfig(seed=1, cost_model=cost))
+    kernel.create_file("/data", bytes(1 << 20))
+    proc = kernel.spawn_process()
+    rng = RandomStreams(3).stream("table1")
+    total = 0
+
+    def workload():
+        nonlocal total
+        fd = yield from kernel.sys_open(proc, "/data")
+        for _ in range(reads):
+            offset = rng.randrange(2048) * 512
+            start = sim.now
+            yield from kernel.sys_pread(proc, fd, offset, 512)
+            total += sim.now - start
+
+    kernel.run_syscall(workload())
+    mean_total = total / reads
+    software = cost.software_total_ns()
+    measured_device = mean_total - software
+    rows = []
+    for layer, layer_ns in cost.table1_rows(int(measured_device)):
+        rows.append({
+            "layer": layer,
+            "measured_ns": layer_ns,
+            "paper_ns": TABLE1_PAPER[layer],
+            "measured_pct": 100.0 * layer_ns / mean_total,
+        })
+    rows.append({
+        "layer": "total",
+        "measured_ns": int(mean_total),
+        "paper_ns": 6272,
+        "measured_pct": 100.0,
+    })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 3a / 3b — lookup throughput vs threads, per hook
+# ---------------------------------------------------------------------------
+
+
+def fig3_throughput(hook: str,
+                    depths: Sequence[int] = (2, 6, 10),
+                    threads: Sequence[int] = (1, 2, 4, 6, 12),
+                    duration_ns: int = 10_000_000,
+                    cores: int = 6) -> List[Dict]:
+    """Figures 3a (hook='syscall') and 3b (hook='nvme').
+
+    Paper's shape: the syscall hook tops out around 1.25x; the NVMe hook
+    reaches ~2.5x, growing with tree depth, with the largest relative gains
+    appearing once the baseline saturates the six cores.
+    """
+    if hook not in ("syscall", "nvme"):
+        raise ValueError(f"hook must be 'syscall' or 'nvme', got {hook!r}")
+    rows = []
+    for depth in depths:
+        for thread_count in threads:
+            baseline_bench = BtreeBench(depth, cores=cores, seed=depth)
+            baseline = baseline_bench.throughput("baseline", thread_count,
+                                                 duration_ns)
+            hook_bench = BtreeBench(depth, cores=cores, seed=depth)
+            hooked = hook_bench.throughput(hook, thread_count, duration_ns)
+            rows.append({
+                "depth": depth,
+                "threads": thread_count,
+                "baseline_klookups": baseline / 1000,
+                f"{hook}_klookups": hooked / 1000,
+                "speedup": hooked / baseline,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 3c — single-thread latency vs depth, both hooks
+# ---------------------------------------------------------------------------
+
+
+def fig3c_latency(depths: Sequence[int] = (1, 2, 3, 4, 6, 8, 10),
+                  operations: int = 120) -> List[Dict]:
+    """Figure 3c: mean lookup latency; the NVMe hook cuts it up to ~49 %."""
+    rows = []
+    for depth in depths:
+        values = {}
+        for system in ("baseline", "syscall", "nvme"):
+            bench = BtreeBench(depth, seed=depth)
+            values[system] = bench.mean_latency(system, operations)
+        rows.append({
+            "depth": depth,
+            "baseline_us": values["baseline"] / 1000,
+            "syscall_us": values["syscall"] / 1000,
+            "nvme_us": values["nvme"] / 1000,
+            "nvme_reduction_pct":
+                100.0 * (1 - values["nvme"] / values["baseline"]),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 3d — io_uring batch size sweep, single thread
+# ---------------------------------------------------------------------------
+
+
+def fig3d_iouring(depths: Sequence[int] = (3, 6, 10),
+                  batches: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                  duration_ns: int = 10_000_000) -> List[Dict]:
+    """Figure 3d: speedup grows with batch size; >2.5x for deep trees,
+    around 1.3-1.5x for three dependent lookups."""
+    rows = []
+    for depth in depths:
+        for batch in batches:
+            baseline = _iouring_baseline_tput(depth, batch, duration_ns)
+            hooked = _iouring_chain_tput(depth, batch, duration_ns)
+            rows.append({
+                "depth": depth,
+                "batch": batch,
+                "baseline_klookups": baseline / 1000,
+                "bpf_klookups": hooked / 1000,
+                "speedup": hooked / baseline,
+            })
+    return rows
+
+
+def _iouring_baseline_tput(depth: int, batch: int,
+                           duration_ns: int) -> float:
+    """Unmodified io_uring: the app drives every level of every lookup.
+
+    Single core: NVMe completion interrupts are steered to the submitting
+    CPU, so in a single-threaded experiment the IRQ work and the
+    application share one core (for both systems).
+    """
+    bench = BtreeBench(depth, seed=depth, cores=1)
+    kernel = bench.kernel
+    sim = bench.sim
+    meter = ThroughputMeter()
+    meter.start(sim.now)
+    stop_at = sim.now + duration_ns
+    next_key = bench._key_stream(0)
+    root = bench.tree.meta.root_offset
+    user_ns = kernel.cost.user_process_ns
+
+    def driver():
+        proc = kernel.spawn_process("uring-base")
+        fd = yield from kernel.sys_open(proc, "/index")
+        ring = IoUring(kernel, proc)
+        # lookup state: user_data -> [key, level, offset]
+        lookups = {}
+        for slot in range(batch):
+            lookups[slot] = [next_key(), 0, root]
+        while sim.now < stop_at:
+            for slot, (key, _level, offset) in lookups.items():
+                ring.prep_read(fd, offset, PAGE_SIZE, user_data=slot)
+            cqes = yield from ring.enter(wait_nr=batch)
+            # App-side parse of every completed page.
+            yield from kernel.cpus.run_thread(user_ns * len(cqes))
+            for cqe in cqes:
+                slot = cqe.user_data
+                key, level, _offset = lookups[slot]
+                _index, child = search_page(cqe.result.data, key)
+                if level + 1 >= depth or child is None:
+                    meter.record(sim.now)
+                    lookups[slot] = [next_key(), 0, root]
+                else:
+                    lookups[slot] = [key, level + 1, child]
+
+    sim.spawn(driver(), name="uring-base")
+    sim.run(until=stop_at)
+    meter.stop(sim.now)
+    return meter.ops_per_sec()
+
+
+def _iouring_chain_tput(depth: int, batch: int, duration_ns: int) -> float:
+    """io_uring + the NVMe-hook chain: one tagged SQE per whole lookup.
+
+    Single core, matching the baseline (IRQ affinity to the submitter).
+    """
+    bench = BtreeBench(depth, seed=depth, cores=1)
+    kernel = bench.kernel
+    sim = bench.sim
+    meter = ThroughputMeter()
+    meter.start(sim.now)
+    stop_at = sim.now + duration_ns
+    next_key = bench._key_stream(0)
+    root = bench.tree.meta.root_offset
+
+    def driver():
+        proc = kernel.spawn_process("uring-bpf")
+        fd = yield from kernel.sys_open(proc, "/index")
+        yield from bench.bpf.install(proc, fd, bench.program,
+                                     hook=Hook.NVME, jit=bench.jit)
+        ring = IoUring(kernel, proc)
+        ring.chain_submitter = bench.bpf.engine.submit_uring_chain
+        while sim.now < stop_at:
+            for _slot in range(batch):
+                ring.prep_read(fd, root, PAGE_SIZE, user_data=None,
+                               tagged=True, args=(next_key(),))
+            cqes = yield from ring.enter(wait_nr=batch)
+            meter.record(sim.now, operations=len(cqes))
+
+    sim.spawn(driver(), name="uring-bpf")
+    sim.run(until=stop_at)
+    meter.stop(sim.now)
+    return meter.ops_per_sec()
+
+
+# ---------------------------------------------------------------------------
+# §4 extent stability — YCSB 40R/40U/20I zipf(0.7) over a batch-built index
+# ---------------------------------------------------------------------------
+
+
+def extent_stability(sim_hours: float = 1.0,
+                     ops_per_sec: int = 500,
+                     initial_keys: int = 20_000,
+                     rebuild_overlay: int = 32_000,
+                     gc_every_rebuilds: int = 120,
+                     fanout: int = 64,
+                     seed: int = 9) -> List[Dict]:
+    """§4's TokuDB measurement: how often do index-file extents change?
+
+    Paper: extents changed every ~159 s on average over 24 h, and only 5
+    changes unmapped blocks.  Here the index is an append-rebuilt B-tree
+    (overlay merged past EOF every ``rebuild_overlay`` dirty keys; a full
+    compacting rewrite every ``gc_every_rebuilds`` rebuilds), driven by the
+    paper's exact YCSB mix.  The row reports measured change intervals and
+    the 24-hour extrapolation.
+    """
+    from repro.device import BlockDevice
+    from repro.kernel.extfs import ExtFs
+
+    fs = ExtFs(BlockDevice(4 * 1024 * 1024))  # 2 GiB
+    store = KvStore(fs, "/index", engine="btree", fanout=fanout)
+    store.bulk_load([(key, key) for key in range(initial_keys)])
+    cache = NvmeExtentCache(fs)
+    cache.install(fs.lookup("/index"))
+
+    grow_times: List[float] = []
+    unmap_times: List[float] = []
+    clock = {"now_s": 0.0}
+    # Inode numbers that are (or were, across a GC rename) the index file.
+    watched = {fs.lookup("/index").number}
+
+    def listener(inode, kind):
+        if inode.number not in watched:
+            return
+        if kind == "grow":
+            grow_times.append(clock["now_s"])
+        else:
+            unmap_times.append(clock["now_s"])
+
+    fs.extent_change_listeners.append(listener)
+
+    workload = YcsbWorkload(initial_keys,
+                            RandomStreams(seed).stream("ycsb"),
+                            mix="paper", theta=0.7)
+    total_ops = int(sim_hours * 3600 * ops_per_sec)
+    op_interval = 1.0 / ops_per_sec
+    rebuilds = 0
+    reads = 0
+    for op_number in range(total_ops):
+        clock["now_s"] = op_number * op_interval
+        op = workload.next_operation()
+        if op.op is OpType.READ:
+            store.get(op.key)
+            reads += 1
+        elif op.op is OpType.UPDATE:
+            store.put(op.key, op.value)
+        else:
+            store.put(op.key, op.value)
+        if store.overlay_size >= rebuild_overlay:
+            rebuilds += 1
+            if rebuilds % gc_every_rebuilds == 0:
+                store.gc_rewrite()
+                watched.add(fs.lookup("/index").number)
+                # Re-run the install ioctl after the invalidation.
+                cache.install(fs.lookup("/index"))
+            else:
+                store.rebuild_appending()
+
+    changes = sorted(grow_times + unmap_times)
+    intervals = [b - a for a, b in zip(changes, changes[1:])]
+    mean_interval = (sum(intervals) / len(intervals)) if intervals else \
+        float("inf")
+    hours = total_ops * op_interval / 3600
+    # Short windows may contain no GC pass at all; derive the steady-state
+    # unmap rate from the policy (one every gc_every_rebuilds rebuilds).
+    derived_unmaps_24h = (24 * 3600 /
+                          (gc_every_rebuilds * mean_interval)
+                          if mean_interval not in (0, float("inf")) else 0)
+    return [{
+        "sim_hours": hours,
+        "operations": total_ops,
+        "extent_changes": len(changes),
+        "unmap_changes": len(unmap_times),
+        "mean_change_interval_s": mean_interval,
+        "invalidations": cache.invalidations,
+        "changes_per_24h": len(changes) * 24 / hours if hours else 0,
+        "unmaps_per_24h": (len(unmap_times) * 24 / hours
+                           if unmap_times else derived_unmaps_24h),
+        "paper_interval_s": 159,
+        "paper_unmaps_per_24h": 5,
+    }]
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+
+def ablation_resubmit_bound(chain_length: int = 24,
+                            bounds: Sequence[int] = (2, 4, 8, 16, 64),
+                            lookups: int = 60) -> List[Dict]:
+    """Fairness bound sweep: tighter bounds force more (bounded) chains per
+    lookup, trading latency for fairness; the result must stay correct."""
+    rows = []
+    for bound in bounds:
+        sim = Simulator()
+        kernel = Kernel(sim, NVM2_BENCH, KernelConfig(seed=4))
+        bpf = StorageBpf(kernel, max_chain_hops=bound)
+        blocks = bytearray(chain_length * PAGE_SIZE)
+        import struct as _struct
+
+        for index in range(chain_length):
+            nxt = ((index + 1) * PAGE_SIZE if index + 1 < chain_length
+                   else 0xFFFFFFFFFFFFFFFF)
+            _struct.pack_into("<QQ", blocks, index * PAGE_SIZE, nxt, index)
+        kernel.create_file("/chain", bytes(blocks))
+        program = linked_list_program()
+        bpf.verify_program(program)
+        proc = kernel.spawn_process()
+        total_ns = 0
+
+        def workload():
+            nonlocal total_ns
+            fd = yield from kernel.sys_open(proc, "/chain")
+            yield from bpf.install(proc, fd, program)
+            for _ in range(lookups):
+                start = sim.now
+                result = yield from bpf.read_chain_robust(
+                    proc, fd, 0, PAGE_SIZE,
+                    max_retries=chain_length + 2)
+                total_ns += sim.now - start
+                assert result.value == chain_length - 1
+
+        kernel.run_syscall(workload())
+        kills = bpf.accounting.chains_killed.get(proc.pid, 0)
+        rows.append({
+            "bound": bound,
+            "chain_length": chain_length,
+            "kills_per_lookup": kills / lookups,
+            "mean_latency_us": total_ns / lookups / 1000,
+        })
+    return rows
+
+
+def ablation_invalidation_rate(
+        intervals_us: Sequence[Optional[float]] = (None, 5000, 1000, 200),
+        depth: int = 4, duration_ns: int = 8_000_000) -> List[Dict]:
+    """Extent-churn sweep: how chain throughput degrades as the file's
+    extents are unmapped (and the cache invalidated) more often."""
+    rows = []
+    for interval_us in intervals_us:
+        bench = BtreeBench(depth, seed=7)
+        kernel = bench.kernel
+        sim = bench.sim
+        fs = kernel.fs
+        inode = fs.lookup("/index")
+        # A sacrificial appendix block the injector can punch without
+        # damaging tree pages (any unmap invalidates the whole snapshot).
+        appendix = (inode.size + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+        fs.write_sync(inode, appendix, b"\x00" * PAGE_SIZE)
+
+        if interval_us is not None:
+            def injector():
+                while True:
+                    yield sim.timeout(int(interval_us * 1000))
+                    fs.punch_range(inode, appendix, PAGE_SIZE)
+                    fs.write_sync(inode, appendix, b"\x00" * PAGE_SIZE)
+
+            sim.spawn(injector(), name="churn")
+
+        def make_worker(index):
+            proc = kernel.spawn_process(f"w{index}")
+            fd = yield from kernel.sys_open(proc, "/index")
+            yield from bench.bpf.install(proc, fd, bench.program,
+                                         hook=Hook.NVME)
+            next_key = bench._key_stream(index)
+            root = bench.tree.meta.root_offset
+
+            def one_op():
+                yield from bench.bpf.read_chain_robust(
+                    proc, fd, root, PAGE_SIZE, args=(next_key(),),
+                    max_retries=64)
+
+            return one_op
+
+        meter, latency = run_closed_loop(sim, 2, duration_ns, make_worker)
+        rows.append({
+            "churn_interval_us": interval_us if interval_us else "none",
+            "klookups_per_s": meter.ops_per_sec() / 1000,
+            "mean_latency_us": latency.mean / 1000,
+            "invalidations": bench.bpf.cache.invalidations,
+            "refresh_ioctls": bench.bpf.cache.refreshes,
+        })
+    return rows
+
+
+def ablation_app_cache(depth: int = 6,
+                       cached_levels: Sequence[int] = (0, 1, 2, 3),
+                       operations: int = 150) -> List[Dict]:
+    """§4's caching model: the application caches the hot top levels of the
+    index in its own memory and starts the kernel chain below them.
+
+    Each cached level replaces a device read with an in-memory page parse,
+    so latency falls roughly one device round trip per level — quantifying
+    the hybrid user-cache + BPF-chain design (which is how XRP later used
+    this mechanism).
+    """
+    from repro.structures.pages import search_page as _search
+
+    rows = []
+    for cached in cached_levels:
+        if cached >= depth:
+            continue
+        bench = BtreeBench(depth, seed=11)
+        kernel = bench.kernel
+        sim = bench.sim
+        backend = bench.tree.backend
+        next_key = bench._key_stream(0)
+        user_ns = kernel.cost.user_process_ns
+        recorder = []
+
+        def workload():
+            proc = kernel.spawn_process("cache-app")
+            fd = yield from kernel.sys_open(proc, "/index")
+            yield from bench.bpf.install(proc, fd, bench.program,
+                                         hook=Hook.NVME)
+            for _ in range(operations):
+                key = next_key()
+                start = sim.now
+                offset = bench.tree.meta.root_offset
+                # Walk the cached levels in application memory.
+                for _level in range(cached):
+                    page = backend.read(offset, PAGE_SIZE)
+                    yield from kernel.cpus.run_thread(user_ns)
+                    _index, child = _search(page, key)
+                    offset = child
+                # Chain the remaining levels in the kernel.
+                yield from bench.bpf.read_chain(proc, fd, offset,
+                                                PAGE_SIZE, args=(key,))
+                recorder.append(sim.now - start)
+
+        kernel.run_syscall(workload())
+        rows.append({
+            "cached_levels": cached,
+            "device_reads_per_lookup": depth - cached,
+            "mean_latency_us": sum(recorder) / len(recorder) / 1000,
+        })
+    return rows
+
+
+def interference(chain_depth: int = 16, plain_threads: int = 3,
+                 chain_threads: int = 12,
+                 duration_ns: int = 8_000_000) -> List[Dict]:
+    """§4 Fairness: do BPF chains starve ordinary readers?
+
+    Three plain 512 B readers share the machine with three deep-chain
+    processes.  BPF reissues never pass the block scheduler, so the only
+    protections are the device's queue arbitration and the per-process
+    accounting the NVMe layer drains to the BIO layer; this experiment
+    measures the interference and verifies the accounting books balance.
+    """
+    rows = []
+    for scenario in ("alone", "with-chains"):
+        bench = BtreeBench(chain_depth, seed=13)
+        kernel = bench.kernel
+        sim = bench.sim
+        kernel.create_file("/plain", bytes(1 << 20))
+        plain_meter = ThroughputMeter()
+        plain_meter.start(sim.now)
+        stop_at = sim.now + duration_ns
+        plain_latency = []
+
+        def plain_worker(index):
+            proc = kernel.spawn_process(f"plain-{index}")
+            fd = yield from kernel.sys_open(proc, "/plain")
+            rng = bench.streams.fork(f"plain-{index}").stream("off")
+            while sim.now < stop_at:
+                start = sim.now
+                offset = rng.randrange(2048) * 512
+                yield from kernel.sys_pread(proc, fd, offset, 512)
+                plain_latency.append(sim.now - start)
+                plain_meter.record(sim.now)
+
+        for index in range(plain_threads):
+            sim.spawn(plain_worker(index), name=f"plain-{index}")
+
+        if scenario == "with-chains":
+            chain_worker = bench.chain_worker(Hook.NVME)
+
+            def chain_loop(index):
+                one_op = yield from chain_worker(index)
+                while sim.now < stop_at:
+                    yield from one_op()
+
+            for index in range(chain_threads):
+                sim.spawn(chain_loop(index), name=f"chain-{index}")
+
+        sim.run(until=stop_at)
+        plain_meter.stop(sim.now)
+        drained = bench.bpf.accounting.drain_to_bio()
+        rows.append({
+            "scenario": scenario,
+            "plain_kreads_per_s": plain_meter.ops_per_sec() / 1000,
+            "plain_mean_latency_us":
+                sum(plain_latency) / len(plain_latency) / 1000,
+            "chained_resubmissions": sum(drained.values()),
+            "chain_processes_accounted": len(drained),
+        })
+    return rows
+
+
+def ablation_vm_mode(depth: int = 6, operations: int = 150) -> List[Dict]:
+    """eBPF interpreter vs JIT: per-hop execution cost difference."""
+    rows = []
+    for jit in (False, True):
+        bench = BtreeBench(depth, seed=3, jit=jit)
+        latency = bench.mean_latency("nvme", operations)
+        rows.append({
+            "mode": "jit" if jit else "interp",
+            "depth": depth,
+            "mean_latency_us": latency / 1000,
+        })
+    baseline = BtreeBench(depth, seed=3).mean_latency("baseline", operations)
+    for row in rows:
+        row["speedup_vs_baseline"] = baseline / (row["mean_latency_us"] *
+                                                 1000)
+    return rows

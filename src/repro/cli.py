@@ -1,0 +1,229 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands:
+
+* ``report [--quick]`` — run every experiment and print its paper-style
+  table (``--quick`` runs miniature versions in a few seconds).
+* ``experiment <name>`` — run one experiment (fig1, table1, fig3a, fig3b,
+  fig3c, fig3d, stability, bound, churn, vmmode, appcache, interference).
+* ``disasm <program>`` — print a library program's verified assembly
+  (index, scan, linked, wisckey).
+* ``verify-demo`` — show the verifier accepting a safe program and
+  rejecting unsafe ones, with reasons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.bench import (
+    ablation_app_cache,
+    ablation_invalidation_rate,
+    ablation_resubmit_bound,
+    ablation_vm_mode,
+    extent_stability,
+    fig1_latency_breakdown,
+    fig3_throughput,
+    fig3c_latency,
+    fig3d_iouring,
+    format_table,
+    interference,
+    table1_breakdown,
+)
+
+__all__ = ["main"]
+
+
+def _columns(rows: List[Dict]) -> List[str]:
+    return list(rows[0].keys()) if rows else []
+
+
+_EXPERIMENTS = {
+    "fig1": ("Figure 1 — kernel overhead per device",
+             lambda quick: fig1_latency_breakdown(reads=50 if quick
+                                                  else 300)),
+    "table1": ("Table 1 — 512 B read() breakdown",
+               lambda quick: table1_breakdown(reads=50 if quick else 300)),
+    "fig3a": ("Figure 3a — syscall hook throughput",
+              lambda quick: fig3_throughput(
+                  "syscall",
+                  depths=(4,) if quick else (2, 6, 10),
+                  threads=(1, 6) if quick else (1, 2, 4, 6, 8, 12),
+                  duration_ns=2_000_000 if quick else 8_000_000)),
+    "fig3b": ("Figure 3b — NVMe hook throughput",
+              lambda quick: fig3_throughput(
+                  "nvme",
+                  depths=(4,) if quick else (2, 6, 10),
+                  threads=(1, 6, 12) if quick else (1, 2, 4, 6, 8, 12),
+                  duration_ns=2_000_000 if quick else 8_000_000)),
+    "fig3c": ("Figure 3c — single-thread latency",
+              lambda quick: fig3c_latency(
+                  depths=(2, 6) if quick else (1, 2, 3, 4, 6, 8, 10, 16),
+                  operations=30 if quick else 100)),
+    "fig3d": ("Figure 3d — io_uring batch sweep",
+              lambda quick: fig3d_iouring(
+                  depths=(4,) if quick else (3, 6, 10),
+                  batches=(1, 8) if quick else (1, 2, 4, 8, 16, 32),
+                  duration_ns=2_000_000 if quick else 8_000_000)),
+    "stability": ("§4 — extent stability under YCSB",
+                  lambda quick: extent_stability(
+                      sim_hours=0.05 if quick else 2.0,
+                      ops_per_sec=500,
+                      rebuild_overlay=3000 if quick else 32_000,
+                      gc_every_rebuilds=3 if quick else 120,
+                      initial_keys=3000 if quick else 20_000)),
+    "bound": ("Ablation — resubmission bound",
+              lambda quick: ablation_resubmit_bound(
+                  chain_length=8 if quick else 24,
+                  bounds=(2, 8) if quick else (2, 4, 8, 16, 64),
+                  lookups=10 if quick else 50)),
+    "churn": ("Ablation — extent churn",
+              lambda quick: ablation_invalidation_rate(
+                  intervals_us=(None, 500) if quick
+                  else (None, 5000, 1000, 200),
+                  duration_ns=2_000_000 if quick else 8_000_000)),
+    "vmmode": ("Ablation — interpreter vs JIT",
+               lambda quick: ablation_vm_mode(
+                   depth=3 if quick else 6,
+                   operations=30 if quick else 200)),
+    "appcache": ("Ablation — app-level index cache",
+                 lambda quick: ablation_app_cache(
+                     depth=4 if quick else 6,
+                     cached_levels=(0, 2) if quick else (0, 1, 2, 3, 5),
+                     operations=30 if quick else 150)),
+    "interference": ("§4 fairness — chains vs plain readers",
+                     lambda quick: interference(
+                         chain_threads=6 if quick else 12,
+                         duration_ns=2_000_000 if quick else 8_000_000)),
+}
+
+_PROGRAMS = {
+    "index": lambda: _library().index_traversal_program(fanout=16),
+    "scan": lambda: _library().scan_aggregate_program(fanout=16),
+    "linked": lambda: _library().linked_list_program(),
+    "wisckey": lambda: _library().wisckey_get_program(fanout=16),
+}
+
+
+def _library():
+    import repro.core.library as library
+
+    return library
+
+
+def _cmd_report(args) -> int:
+    for name, (title, runner) in _EXPERIMENTS.items():
+        rows = runner(args.quick)
+        print(format_table(title, _columns(rows), rows))
+        print()
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    title, runner = _EXPERIMENTS[args.name]
+    rows = runner(args.quick)
+    print(format_table(title, _columns(rows), rows))
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.core.hooks import storage_helpers
+    from repro.ebpf import verify
+    from repro.ebpf.disasm import disassemble
+
+    program = _PROGRAMS[args.program]()
+    helpers = storage_helpers()
+    stats = verify(program, helpers, state_budget=500_000)
+    inverse = {v: k for k, v in helpers.names().items()}
+    print(f"; {program.name}: {len(program)} instructions, verified "
+          f"({stats.states_explored} states explored)")
+    print(disassemble(program.instructions, helper_names=inverse))
+    return 0
+
+
+def _cmd_verify_demo(args) -> int:
+    from repro.core.hooks import storage_ctx_layout, storage_helpers
+    from repro.ebpf import Program, assemble, verify
+    from repro.errors import VerifierError
+
+    helpers = storage_helpers()
+    layout = storage_ctx_layout()
+    samples = [
+        ("safe bounded loop", """
+            mov r2, 0
+        loop:
+            jge r2, 16, done
+            add r2, 1
+            ja  loop
+        done:
+            mov r0, 0
+            exit
+        """),
+        ("out-of-bounds load", """
+            ldxdw r2, [r1+0]
+            ldxb  r3, [r2+4096]
+            mov r0, 0
+            exit
+        """),
+        ("unbounded loop", """
+            ldxdw r3, [r1+8]
+            mov r2, 0
+        loop:
+            jge r2, r3, done
+            add r2, 1
+            ja  loop
+        done:
+            mov r0, 0
+            exit
+        """),
+        ("uninitialised register", "mov r0, r7\nexit"),
+    ]
+    for label, source in samples:
+        program = Program(assemble(source, helpers.names()), layout,
+                          name=label)
+        try:
+            stats = verify(program, helpers, state_budget=5000)
+            print(f"ACCEPT  {label}  "
+                  f"({stats.states_explored} states explored)")
+        except VerifierError as error:
+            print(f"REJECT  {label}  -> {error}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="BPF-for-storage reproduction: experiments and tooling")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="run every experiment")
+    report.add_argument("--quick", action="store_true",
+                        help="miniature runs (seconds instead of minutes)")
+    report.set_defaults(func=_cmd_report)
+
+    experiment = sub.add_parser("experiment", help="run one experiment")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--quick", action="store_true")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    disasm = sub.add_parser("disasm",
+                            help="disassemble a library BPF program")
+    disasm.add_argument("program", choices=sorted(_PROGRAMS))
+    disasm.set_defaults(func=_cmd_disasm)
+
+    demo = sub.add_parser("verify-demo",
+                          help="show the verifier accepting/rejecting")
+    demo.set_defaults(func=_cmd_verify_demo)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

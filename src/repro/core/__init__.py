@@ -1,0 +1,48 @@
+"""BPF for storage: the paper's contribution.
+
+This package implements §4 of the paper on top of the simulated kernel:
+
+* :mod:`~repro.core.hooks` — the storage BPF context struct (what the NVMe
+  completion hook hands to a program), the chain actions, and the
+  storage-specific helper functions.
+* :mod:`~repro.core.extent_cache` — the NVMe-layer soft-state extent cache
+  with file-system-triggered invalidation.
+* :mod:`~repro.core.accounting` — the per-process chained-resubmission
+  counter and bound.
+* :mod:`~repro.core.install` — the install ioctl and per-descriptor
+  attachment state.
+* :mod:`~repro.core.chains` — the chain engine: first-hop dispatch, the
+  NVMe-completion hook that runs the program in IRQ context and recycles the
+  command, the syscall-dispatch hook, split-I/O fallback.
+* :mod:`~repro.core.api` — :class:`~repro.core.api.StorageBpf`, the
+  user-facing facade ("the library" of §4).
+* :mod:`~repro.core.library` — prebuilt, verified programs for common
+  on-disk structures (B-tree lookup, linked blocks, SSTable search, scan
+  filters) plus user-space equivalents for the fallback path.
+"""
+
+from repro.core.accounting import ChainAccounting
+from repro.core.api import StorageBpf
+from repro.core.extent_cache import NvmeExtentCache
+from repro.core.hooks import (
+    ACTION_RESUBMIT,
+    ACTION_RETURN_BUFFER,
+    ACTION_RETURN_VALUE,
+    Hook,
+    storage_ctx_layout,
+    storage_helpers,
+)
+from repro.core.install import BpfInstallation
+
+__all__ = [
+    "ACTION_RESUBMIT",
+    "ACTION_RETURN_BUFFER",
+    "ACTION_RETURN_VALUE",
+    "BpfInstallation",
+    "ChainAccounting",
+    "Hook",
+    "NvmeExtentCache",
+    "StorageBpf",
+    "storage_ctx_layout",
+    "storage_helpers",
+]

@@ -1,0 +1,58 @@
+"""Per-process chained-resubmission accounting (paper §4, Fairness).
+
+The NVMe layer cannot enforce fairness through the block scheduler (BPF
+reissues never pass through it), so the paper proposes a per-process counter
+of chained submissions with a hard bound per chain, periodically drained to
+the BIO layer for accounting.  Both pieces are implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import InvalidArgument
+
+__all__ = ["ChainAccounting"]
+
+
+class ChainAccounting:
+    """Tracks chained resubmissions per process and bounds chain depth."""
+
+    def __init__(self, max_chain_hops: int = 64):
+        if max_chain_hops < 1:
+            raise InvalidArgument("max_chain_hops must be >= 1")
+        self.max_chain_hops = max_chain_hops
+        #: Cumulative resubmissions per pid since the last drain.
+        self._pending: Dict[int, int] = {}
+        #: Lifetime totals per pid (never reset; for tests/metrics).
+        self.totals: Dict[int, int] = {}
+        #: Chains killed by the bound, per pid.
+        self.chains_killed: Dict[int, int] = {}
+
+    def may_resubmit(self, pid: int, hops_completed: int) -> bool:
+        """True if a chain with ``hops_completed`` hops may issue another."""
+        return hops_completed < self.max_chain_hops
+
+    def budget_remaining(self, hops_completed: int) -> int:
+        return max(0, self.max_chain_hops - hops_completed)
+
+    def charge(self, pid: int) -> None:
+        """Record one chained resubmission for ``pid``."""
+        self._pending[pid] = self._pending.get(pid, 0) + 1
+        self.totals[pid] = self.totals.get(pid, 0) + 1
+
+    def record_kill(self, pid: int) -> None:
+        self.chains_killed[pid] = self.chains_killed.get(pid, 0) + 1
+
+    def drain_to_bio(self) -> Dict[int, int]:
+        """Hand the per-process counts to the BIO layer (paper §4).
+
+        Returns and clears the pending counters; the caller (the BIO
+        accounting tick) can feed them into whatever fairness policy it
+        runs.
+        """
+        drained, self._pending = self._pending, {}
+        return drained
+
+    def pending(self, pid: int) -> int:
+        return self._pending.get(pid, 0)

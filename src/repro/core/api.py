@@ -1,0 +1,306 @@
+"""The user-facing BPF-for-storage library (the "library" of §4).
+
+:class:`StorageBpf` attaches the whole mechanism to a simulated kernel and
+exposes it the way the paper envisions applications consuming it:
+
+* ``install`` — the special ioctl: verify-once, snapshot the file's extents
+  into the NVMe-layer cache, tag the descriptor;
+* ``read_chain`` — issue a tagged read whose dependent hops are resubmitted
+  from the installed hook;
+* ``read_chain_robust`` — the full recovery protocol: on ``EEXTENT`` it
+  re-runs the ioctl and retries, on a split fallback it executes the very
+  same program in user space over the returned buffer (charging user-side
+  CPU) and restarts the chain at the next hop, exactly as §4 prescribes.
+
+All methods that consume simulated time are generators meant to run inside
+a simulated thread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ebpf.maps import BpfMap
+from repro.ebpf.program import Program
+from repro.ebpf.verifier import verify
+from repro.ebpf.vm import VmEnvironment
+from repro.errors import ChainLimitExceeded, ExtentInvalidated, InvalidArgument
+from repro.kernel import Kernel, ReadResult
+from repro.kernel.process import File, Process
+from repro.core.accounting import ChainAccounting
+from repro.core.chains import ChainEngine, ChainState
+from repro.core.extent_cache import NvmeExtentCache
+from repro.core.hooks import (
+    ACTION_RESUBMIT,
+    ACTION_RETURN_BUFFER,
+    ACTION_RETURN_VALUE,
+    Hook,
+    storage_helpers,
+)
+from repro.core.install import (
+    IOCTL_INSTALL_BPF,
+    IOCTL_REFRESH_EXTENTS,
+    IOCTL_UNINSTALL_BPF,
+    BpfInstallation,
+)
+
+__all__ = ["InstallRequest", "StorageBpf"]
+
+
+class InstallRequest:
+    """The argument struct handed to the install ioctl."""
+
+    def __init__(self, program: Program, hook: Hook = Hook.NVME,
+                 block_size: int = 4096, scratch_size: int = 256,
+                 args: Tuple[int, ...] = (),
+                 maps: Optional[Dict[int, BpfMap]] = None,
+                 jit: bool = True):
+        self.program = program
+        self.hook = hook
+        self.block_size = block_size
+        self.scratch_size = scratch_size
+        self.args = args
+        self.maps = dict(maps or {})
+        self.jit = jit
+
+
+class StorageBpf:
+    """Glue object: one per simulated kernel."""
+
+    def __init__(self, kernel: Kernel, max_chain_hops: int = 64):
+        self.kernel = kernel
+        self.helpers = storage_helpers()
+        self.cache = NvmeExtentCache(kernel.fs)
+        self.accounting = ChainAccounting(max_chain_hops)
+        self.engine = ChainEngine(kernel, self.cache, self.accounting)
+        kernel.tagged_read_handler = self._tagged_read
+        kernel.syscall_read_hook = self.engine.syscall_hook
+        kernel.ioctl_handlers[IOCTL_INSTALL_BPF] = self._ioctl_install
+        kernel.ioctl_handlers[IOCTL_UNINSTALL_BPF] = self._ioctl_uninstall
+        kernel.ioctl_handlers[IOCTL_REFRESH_EXTENTS] = self._ioctl_refresh
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify_program(self, program: Program,
+                       maps: Optional[Dict[int, BpfMap]] = None) -> Program:
+        """Run the static verifier with the storage helper set."""
+        verify(program, self.helpers, maps=maps)
+        return program
+
+    # ------------------------------------------------------------------
+    # ioctl handlers (run with syscall entry already charged)
+    # ------------------------------------------------------------------
+
+    def _ioctl_install(self, proc: Process, file: File, arg):
+        if not isinstance(arg, InstallRequest):
+            raise InvalidArgument("install ioctl needs an InstallRequest")
+        program = arg.program
+        if not program.verified:
+            verify(program, self.helpers, maps=arg.maps)
+        env = VmEnvironment(self.helpers, maps=arg.maps,
+                            clock=lambda: self.kernel.sim.now)
+        installation = BpfInstallation(
+            program, arg.hook, arg.block_size, arg.scratch_size, env,
+            default_args=arg.args, jit=arg.jit)
+        # Propagate the file's extents to the NVMe layer (paper §4).
+        yield from self.kernel.cpus.run_thread(
+            self.kernel.cost.ioctl_install_ns)
+        if arg.hook is Hook.NVME:
+            installation.cache_entry = self.cache.install(file.inode)
+        file.bpf_install = installation
+        return 0
+
+    def _ioctl_uninstall(self, proc: Process, file: File, arg):
+        yield from self.kernel.cpus.run_thread(self.kernel.cost.syscall_ns)
+        if file.bpf_install is not None:
+            self.cache.drop(file.inode)
+            file.bpf_install = None
+        return 0
+
+    def _ioctl_refresh(self, proc: Process, file: File, arg):
+        """Re-push the file's extents after an EEXTENT error."""
+        installation = file.bpf_install
+        if installation is None:
+            raise InvalidArgument("refresh ioctl on a plain descriptor")
+        yield from self.kernel.cpus.run_thread(
+            self.kernel.cost.ioctl_install_ns)
+        installation.cache_entry = self.cache.install(file.inode)
+        return 0
+
+    # ------------------------------------------------------------------
+    # Syscall-style entry points (generators)
+    # ------------------------------------------------------------------
+
+    def install(self, proc: Process, fd: int, program: Program,
+                hook: Hook = Hook.NVME, block_size: int = 4096,
+                scratch_size: int = 256, args: Tuple[int, ...] = (),
+                maps: Optional[Dict[int, BpfMap]] = None, jit: bool = True):
+        """Install a program on ``fd`` via the special ioctl."""
+        if len(args) > 4:
+            raise InvalidArgument("at most 4 install args")
+        request = InstallRequest(program, hook, block_size, scratch_size,
+                                 args, maps, jit)
+        result = yield from self.kernel.sys_ioctl(proc, fd,
+                                                  IOCTL_INSTALL_BPF, request)
+        return result
+
+    def refresh(self, proc: Process, fd: int):
+        result = yield from self.kernel.sys_ioctl(proc, fd,
+                                                  IOCTL_REFRESH_EXTENTS, None)
+        return result
+
+    def uninstall(self, proc: Process, fd: int):
+        result = yield from self.kernel.sys_ioctl(proc, fd,
+                                                  IOCTL_UNINSTALL_BPF, None)
+        return result
+
+    def read_chain(self, proc: Process, fd: int, offset: int, length: int,
+                   args: Tuple[int, ...] = (), scratch_init: bytes = b""):
+        """One tagged read: a full syscall driving the installed hook."""
+        if len(args) > 4:
+            raise InvalidArgument("at most 4 per-read args")
+        kernel = self.kernel
+        file = proc.file(fd)
+        installation: Optional[BpfInstallation] = file.bpf_install
+        if installation is None:
+            from repro.errors import NotInstalled
+
+            raise NotInstalled(f"fd {fd} has no installed program")
+        if length != installation.block_size:
+            raise InvalidArgument(
+                f"chain reads recycle one descriptor: length {length} must "
+                f"equal the installed block size {installation.block_size}")
+        kernel.syscall_count += 1
+        if installation.hook is Hook.NVME:
+            yield from kernel.cpus.run_thread(kernel.cost.kernel_crossing_ns +
+                                              kernel.cost.syscall_ns)
+            result = yield from self.engine.start_chain(
+                proc, file, offset, length, args, scratch_init)
+            return result
+        # Syscall-dispatch hook: reuse the kernel's reissue loop, seeding
+        # the per-call hook state with our args.
+        kernel.syscall_count -= 1  # sys_pread counts itself
+        hook_state = {"args": tuple(args) +
+                      installation.default_args[len(args):],
+                      "scratch_init": scratch_init}
+        result = yield from kernel.sys_pread(proc, fd, offset, length,
+                                             tagged=True,
+                                             hook_state=hook_state)
+        return result
+
+    def _tagged_read(self, proc: Process, file: File, offset: int,
+                     length: int):
+        """Registered as kernel.tagged_read_handler for plain sys_pread."""
+        result = yield from self.engine.start_chain(proc, file, offset,
+                                                    length)
+        return result
+
+    # ------------------------------------------------------------------
+    # The robust protocol (EEXTENT retry + split fallback restart)
+    # ------------------------------------------------------------------
+
+    def read_chain_robust(self, proc: Process, fd: int, offset: int,
+                          length: int, args: Tuple[int, ...] = (),
+                          scratch_init: bytes = b"",
+                          max_retries: int = 8,
+                          continue_on_limit: bool = True):
+        """A chain read that survives invalidations, split fallbacks, and
+        (optionally) the fairness bound.
+
+        * ``EEXTENT`` → re-run the ioctl (refresh) and retry from scratch;
+        * ``SPLIT_FALLBACK`` → execute the program in user space over the
+          buffer the kernel fetched, then restart the chain at the next hop;
+        * ``CHAIN_LIMIT`` → with ``continue_on_limit``, start a fresh
+          bounded chain from where the killed one stopped (each kernel
+          chain stays within the fairness bound); otherwise raise
+          :class:`ChainLimitExceeded`.
+
+        Returns the final OK ReadResult or raises after ``max_retries``
+        recovery attempts.
+        """
+        kernel = self.kernel
+        file = proc.file(fd)
+        current_offset = offset
+        current_scratch = scratch_init
+        total_hops = 0
+        for _attempt in range(max_retries):
+            result = yield from self.read_chain(proc, fd, current_offset,
+                                                length, args,
+                                                current_scratch)
+            total_hops += result.hops
+            if result.ok:
+                result.hops = total_hops
+                return result
+            if result.status == ReadResult.EXTENT_INVALIDATED:
+                # §4: re-run the ioctl to reset the NVMe-layer extents,
+                # then reissue.
+                yield from self.refresh(proc, fd)
+                current_offset = offset
+                current_scratch = scratch_init
+                total_hops = 0
+                continue
+            if result.status == ReadResult.SPLIT_FALLBACK:
+                # Run the program *in user space* over the returned buffer
+                # and restart the kernel chain at the next hop.
+                step = yield from self._user_space_step(
+                    file, result, args, current_offset)
+                if step is None:
+                    result.hops = total_hops
+                    result.status = ReadResult.OK
+                    return result
+                current_offset, current_scratch = step
+                continue
+            if result.status == ReadResult.EIO:
+                from repro.errors import IoError
+
+                raise IoError(
+                    f"media error during chain at offset "
+                    f"{result.final_offset}")
+            if result.status == ReadResult.CHAIN_LIMIT:
+                if not continue_on_limit:
+                    raise ChainLimitExceeded(
+                        f"chain exceeded {self.accounting.max_chain_hops} "
+                        "hops")
+                current_offset = result.final_offset
+                current_scratch = result.scratch or b""
+                continue
+            raise InvalidArgument(f"unexpected chain status {result.status}")
+        raise ExtentInvalidated(
+            f"chain did not settle after {max_retries} retries")
+
+    def _user_space_step(self, file: File, result: ReadResult,
+                         args: Tuple[int, ...], offset: int):
+        """Execute one hop of the program in user space (fallback path).
+
+        ``result`` is a SPLIT_FALLBACK whose data is the block at
+        ``result.final_offset`` that the kernel fetched as a normal BIO but
+        did not run the program on.  Returns (next_offset, scratch bytes)
+        to restart the chain, or None if the program finished here.
+        """
+        kernel = self.kernel
+        installation: BpfInstallation = file.bpf_install
+        scratch = bytearray(installation.scratch_size)
+        if result.scratch:
+            scratch[: len(result.scratch)] = result.scratch
+        state = ChainState(None, file, installation, result.final_offset,
+                           len(result.data) or installation.block_size,
+                           tuple(args) + installation.default_args[len(args):],
+                           bytes(scratch), deliver=lambda _res: None)
+        state.hops = result.hops
+        data = result.data[: installation.block_size]
+        outputs, instructions = self.engine._run_program(state, data)
+        yield from kernel.cpus.run_thread(
+            kernel.cost.user_process_ns +
+            kernel.cost.bpf_run_ns(instructions, installation.jit))
+        if outputs["action"] == ACTION_RESUBMIT:
+            return outputs["next_offset"], bytes(state.scratch)
+        if outputs["action"] == ACTION_RETURN_VALUE:
+            result.value = outputs["result"]
+            result.value2 = outputs["result2"]
+            result.data = b""
+            return None
+        if outputs["action"] == ACTION_RETURN_BUFFER:
+            return None
+        raise InvalidArgument(f"unknown action {outputs['action']}")

@@ -1,0 +1,422 @@
+"""The chain engine: dependent I/Os resubmitted from kernel hooks.
+
+This is the mechanism of §4.  A *chain* starts as an ordinary tagged read
+that walks the full stack once (syscall → ext4 → BIO → driver).  Every
+completion of a chain command is handed to :meth:`ChainEngine.handle_completion`
+by the NVMe driver, which runs — in interrupt context, charging only IRQ +
+BPF + driver costs — the installed program over the fetched block and either:
+
+* **resubmits**: translates the program's ``next_offset`` through the
+  NVMe-layer extent cache (never the file system), recycles the very same
+  NVMe descriptor, and rings the doorbell again;
+* **completes**: wakes the blocked reader (or posts an io_uring CQE) with
+  the buffer or with scalar results;
+* **aborts**: extent-cache invalidation (``EEXTENT``), the per-process
+  resubmission bound (``ECHAINLIM``), or a split translation, which falls
+  back to the application exactly as §4's granularity-mismatch rule
+  prescribes (buffer + ``SPLIT_FALLBACK`` status, app restarts the chain at
+  the next hop).
+
+The same engine also implements the syscall-dispatch hook: the program runs
+in thread context after each completed read and asks the dispatch layer to
+reissue, which skips boundary crossings and app-side processing but still
+pays the file system and BIO layers per hop — reproducing the modest
+Figure 3a speedup against the large Figure 3b one.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Optional, Tuple
+
+from repro.device import NvmeCommand
+from repro.errors import IoError
+from repro.kernel import Kernel, ReadResult
+from repro.kernel.kernel import IoCookie
+from repro.kernel.process import File, Process
+from repro.core.accounting import ChainAccounting
+from repro.core.extent_cache import NvmeExtentCache, Translation
+from repro.core.hooks import (
+    ACTION_RESUBMIT,
+    ACTION_RETURN_BUFFER,
+    ACTION_RETURN_VALUE,
+    CTX_ACTION,
+    CTX_ARG0,
+    CTX_CHAIN_DEPTH,
+    CTX_DATA_LEN,
+    CTX_FILE_OFFSET,
+    CTX_NEXT_OFFSET,
+    CTX_RESULT,
+    CTX_RESULT2,
+    CTX_SIZE,
+    Hook,
+)
+from repro.core.install import BpfInstallation
+
+__all__ = ["ChainEngine", "ChainState"]
+
+_U64 = struct.Struct("<Q")
+
+
+class ChainState:
+    """Mutable state of one in-flight chain."""
+
+    __slots__ = ("proc", "file", "install", "offset", "length", "scratch",
+                 "args", "hops", "deliver", "done")
+
+    def __init__(self, proc: Process, file: File, install: BpfInstallation,
+                 offset: int, length: int, args: Tuple[int, ...],
+                 scratch_init: bytes,
+                 deliver: Callable[[ReadResult], None]):
+        self.proc = proc
+        self.file = file
+        self.install = install
+        self.offset = offset
+        self.length = length
+        self.scratch = bytearray(install.scratch_size)
+        self.scratch[: len(scratch_init)] = scratch_init
+        self.args = args
+        self.hops = 0
+        self.deliver = deliver
+        self.done = False
+
+    def finish(self, result: ReadResult) -> None:
+        if self.done:
+            raise IoError("chain delivered twice")
+        self.done = True
+        self.deliver(result)
+
+
+class ChainEngine:
+    """Wires the chain machinery into one kernel instance."""
+
+    def __init__(self, kernel: Kernel, cache: NvmeExtentCache,
+                 accounting: ChainAccounting):
+        self.kernel = kernel
+        self.cache = cache
+        self.accounting = accounting
+        kernel.chain_completion_handler = self.handle_completion
+        # Statistics.
+        self.chains_started = 0
+        self.chains_completed = 0
+        self.split_fallbacks = 0
+        self.extent_aborts = 0
+
+    # ------------------------------------------------------------------
+    # Program execution (shared by both hooks)
+    # ------------------------------------------------------------------
+
+    def _run_program(self, state: ChainState, data: bytes) -> "tuple[dict, int]":
+        """Run the installed program over ``data``; returns (outputs, insns).
+
+        Pure execution — the caller charges the CPU cost in its own context
+        (IRQ for the NVMe hook, thread for the syscall hook).
+        """
+        install = state.install
+        ctx = bytearray(CTX_SIZE)
+        ctx[CTX_DATA_LEN : CTX_DATA_LEN + 8] = _U64.pack(len(data))
+        ctx[CTX_FILE_OFFSET : CTX_FILE_OFFSET + 8] = _U64.pack(state.offset)
+        ctx[CTX_CHAIN_DEPTH : CTX_CHAIN_DEPTH + 8] = _U64.pack(state.hops)
+        for index, arg in enumerate(state.args):
+            base = CTX_ARG0 + 8 * index
+            ctx[base : base + 8] = _U64.pack(arg & 0xFFFFFFFFFFFFFFFF)
+        block = bytearray(install.block_size)
+        block[: len(data)] = data
+        install.vm.chain_budget = self.accounting.budget_remaining(state.hops)
+        result = install.vm.run(ctx, {"data": block, "scratch": state.scratch})
+        install.invocations += 1
+        outputs = {
+            "action": _U64.unpack_from(ctx, CTX_ACTION)[0],
+            "next_offset": _U64.unpack_from(ctx, CTX_NEXT_OFFSET)[0],
+            "result": _U64.unpack_from(ctx, CTX_RESULT)[0],
+            "result2": _U64.unpack_from(ctx, CTX_RESULT2)[0],
+        }
+        return outputs, result.instructions
+
+    # ------------------------------------------------------------------
+    # NVMe-hook chains
+    # ------------------------------------------------------------------
+
+    def start_chain(self, proc: Process, file: File, offset: int,
+                    length: int, args: Tuple[int, ...] = (),
+                    scratch_init: bytes = b""):
+        """Generator (thread context, syscall entry already charged).
+
+        Runs the first hop through the full stack, then blocks while the
+        chain progresses in interrupt context.  Returns a ReadResult.
+        """
+        kernel = self.kernel
+        cost = kernel.cost
+        install: BpfInstallation = file.bpf_install
+        full_args = tuple(args) + install.default_args[len(args):]
+        self.chains_started += 1
+
+        yield from kernel.cpus.run_thread(cost.filesystem_ns)
+        segments = kernel.fs.map_range(file.inode, offset, length)
+        yield from kernel.cpus.run_thread(cost.bio_ns)
+
+        waiter = kernel.sim.event()
+        state = ChainState(proc, file, install, offset, length, full_args,
+                           scratch_init, deliver=waiter.succeed)
+
+        if len(segments) > 1:
+            # First hop already spans discontiguous extents: do it as a
+            # normal BIO and let the application restart the chain (§4).
+            chunks = []
+            for lba, sectors in segments:
+                yield from kernel.cpus.run_thread(cost.nvme_driver_ns)
+                event = kernel.sim.event()
+                kernel.device.submit(
+                    NvmeCommand("read", lba, sectors,
+                                cookie=IoCookie("irq", event=event)))
+                completed = yield event
+                chunks.append(completed.data)
+            yield from kernel.cpus.run_thread(cost.context_switch_ns)
+            self.split_fallbacks += 1
+            return ReadResult(b"".join(chunks),
+                              status=ReadResult.SPLIT_FALLBACK, hops=1,
+                              final_offset=offset,
+                              scratch=bytes(state.scratch))
+
+        lba, sectors = segments[0]
+        command = NvmeCommand("read", lba, sectors,
+                              cookie=IoCookie("chain", chain=state))
+        yield from kernel.submit_chain_command(command)
+
+        result = yield waiter
+        yield from kernel.cpus.run_thread(cost.context_switch_ns)
+        return result
+
+    def submit_uring_chain(self, proc: Process, file: File, sqe,
+                           post_cqe: Callable[[Any, ReadResult], None]):
+        """Generator used as the io_uring chain submitter (thread context)."""
+        kernel = self.kernel
+        cost = kernel.cost
+        install: BpfInstallation = file.bpf_install
+        full_args = tuple(sqe.args) + install.default_args[len(sqe.args):]
+        self.chains_started += 1
+
+        yield from kernel.cpus.run_thread(cost.filesystem_ns)
+        segments = kernel.fs.map_range(file.inode, sqe.offset, sqe.length)
+        yield from kernel.cpus.run_thread(cost.bio_ns)
+
+        def deliver(result: ReadResult) -> None:
+            post_cqe(sqe.user_data, result)
+
+        state = ChainState(proc, file, install, sqe.offset, sqe.length,
+                           full_args, sqe.scratch_init, deliver=deliver)
+
+        if len(segments) > 1:
+            # Split first hop: complete as a normal read with fallback status.
+            collector = _SplitCollector(state, len(segments))
+            for lba, sectors in segments:
+                yield from kernel.cpus.run_thread(cost.nvme_driver_ns)
+                event = kernel.sim.event()
+                event.add_callback(collector.segment_done)
+                kernel.device.submit(
+                    NvmeCommand("read", lba, sectors,
+                                cookie=IoCookie("irq", event=event)))
+            self.split_fallbacks += 1
+            return
+
+        lba, sectors = segments[0]
+        command = NvmeCommand("read", lba, sectors,
+                              cookie=IoCookie("chain", chain=state))
+        yield from kernel.submit_chain_command(command)
+
+    # -- completion side ---------------------------------------------------
+
+    def handle_completion(self, command: NvmeCommand) -> None:
+        """Registered as the kernel's chain completion handler."""
+        self.kernel.sim.spawn(self._irq_chain_step(command), name="chain-irq")
+
+    def _irq_chain_step(self, command: NvmeCommand):
+        kernel = self.kernel
+        cost = kernel.cost
+        state: ChainState = command.cookie.chain
+        install = state.install
+        state.hops += 1
+        kernel.irq_count += 1
+
+        yield from kernel.cpus.run_irq(cost.irq_entry_ns)
+
+        if command.status != 0:
+            # Media error mid-chain: surface it, do not run the program.
+            state.finish(ReadResult(b"", status=ReadResult.EIO,
+                                    hops=state.hops,
+                                    final_offset=state.offset))
+            return
+
+        entry = install.cache_entry
+        if entry is None or not entry.valid:
+            # Invalidated mid-chain: discard the recycled I/O, error out.
+            self.extent_aborts += 1
+            state.finish(ReadResult(b"", status=ReadResult.EXTENT_INVALIDATED,
+                                    hops=state.hops,
+                                    final_offset=state.offset))
+            return
+
+        outputs, instructions = self._run_program(state, command.data)
+        yield from kernel.cpus.run_irq(
+            cost.bpf_run_ns(instructions, install.jit))
+
+        action = outputs["action"]
+        if action == ACTION_RESUBMIT:
+            next_offset = outputs["next_offset"]
+            if not self.accounting.may_resubmit(state.proc.pid, state.hops):
+                # Kill the chain for fairness.  The result carries the next
+                # offset and the scratch so the application can continue
+                # with a fresh (bounded) chain from where this one stopped.
+                self.accounting.record_kill(state.proc.pid)
+                state.finish(ReadResult(b"",
+                                        status=ReadResult.CHAIN_LIMIT,
+                                        hops=state.hops,
+                                        final_offset=next_offset,
+                                        scratch=bytes(state.scratch)))
+                return
+            translation = entry.translate(next_offset, state.length)
+            if translation.status == Translation.MISS:
+                self.extent_aborts += 1
+                state.finish(ReadResult(b"",
+                                        status=ReadResult.EXTENT_INVALIDATED,
+                                        hops=state.hops,
+                                        final_offset=next_offset))
+                return
+            if translation.status == Translation.SPLIT:
+                # Granularity mismatch (§4): perform the split I/O as a
+                # normal BIO from the completion path and hand the *new*
+                # buffer to the application, which runs the function itself
+                # and restarts the chain at the next hop.
+                self.split_fallbacks += 1
+                yield from kernel.cpus.run_irq(cost.bio_ns)
+                segments = kernel.fs.map_range(state.file.inode,
+                                               next_offset, state.length)
+                state.offset = next_offset
+                finisher = _SplitReadFinisher(state, len(segments))
+                for lba, sectors in segments:
+                    yield from kernel.cpus.run_irq(cost.nvme_driver_ns)
+                    event = kernel.sim.event()
+                    event.add_callback(finisher.segment_done)
+                    kernel.device.submit(
+                        NvmeCommand("read", lba, sectors,
+                                    cookie=IoCookie("irq", event=event)))
+                return
+            self.accounting.charge(state.proc.pid)
+            install.resubmissions += 1
+            state.offset = next_offset
+            command.retarget(translation.lba, translation.sectors)
+            command.source = "bpf-recycle"
+            yield from kernel.cpus.run_irq(cost.nvme_driver_ns)
+            kernel.device.submit(command)
+            return
+
+        if action == ACTION_RETURN_BUFFER:
+            self.chains_completed += 1
+            state.finish(ReadResult(command.data, hops=state.hops,
+                                    final_offset=state.offset,
+                                    value=outputs["result"],
+                                    value2=outputs["result2"]))
+            return
+        if action == ACTION_RETURN_VALUE:
+            self.chains_completed += 1
+            state.finish(ReadResult(b"", hops=state.hops,
+                                    final_offset=state.offset,
+                                    value=outputs["result"],
+                                    value2=outputs["result2"]))
+            return
+        raise IoError(f"program returned unknown action {action}")
+
+    # ------------------------------------------------------------------
+    # Syscall-dispatch hook
+    # ------------------------------------------------------------------
+
+    def syscall_hook(self, proc: Process, file: File, offset: int,
+                     result: ReadResult, hook_state: dict):
+        """Generator registered as the kernel's syscall_read_hook.
+
+        Runs the program in thread context over the completed read and asks
+        the dispatch layer to reissue without returning to user space.
+        """
+        kernel = self.kernel
+        cost = kernel.cost
+        install: BpfInstallation = file.bpf_install
+        if install is None or install.hook is not Hook.SYSCALL:
+            return "return", result
+
+        state = hook_state.get("chain")
+        if state is None:
+            state = ChainState(proc, file, install, offset,
+                               len(result.data),
+                               hook_state.get("args",
+                                              install.default_args),
+                               hook_state.get("scratch_init", b""),
+                               deliver=lambda _res: None)
+            hook_state["chain"] = state
+        state.offset = offset
+        state.hops += 1
+
+        outputs, instructions = self._run_program(state, result.data)
+        yield from kernel.cpus.run_thread(
+            cost.bpf_run_ns(instructions, install.jit))
+
+        action = outputs["action"]
+        if action == ACTION_RESUBMIT:
+            if not self.accounting.may_resubmit(proc.pid, state.hops):
+                self.accounting.record_kill(proc.pid)
+                return "return", ReadResult(result.data,
+                                            status=ReadResult.CHAIN_LIMIT,
+                                            hops=state.hops,
+                                            final_offset=state.offset)
+            self.accounting.charge(proc.pid)
+            install.resubmissions += 1
+            return "reissue", outputs["next_offset"]
+        if action == ACTION_RETURN_VALUE:
+            return "return", ReadResult(b"", hops=state.hops,
+                                        final_offset=state.offset,
+                                        value=outputs["result"],
+                                        value2=outputs["result2"])
+        return "return", ReadResult(result.data, hops=state.hops,
+                                    final_offset=state.offset,
+                                    value=outputs["result"],
+                                    value2=outputs["result2"])
+
+
+class _SplitReadFinisher:
+    """Gathers the BIO segments of a mid-chain split read, then hands the
+    freshly fetched buffer back to the application as SPLIT_FALLBACK."""
+
+    def __init__(self, state: ChainState, segment_count: int):
+        self.state = state
+        self.remaining = segment_count
+        self.chunks = []
+
+    def segment_done(self, event) -> None:
+        self.chunks.append(event.value.data)
+        self.remaining -= 1
+        if self.remaining == 0:
+            state = self.state
+            state.hops += 1
+            state.finish(ReadResult(b"".join(self.chunks),
+                                    status=ReadResult.SPLIT_FALLBACK,
+                                    hops=state.hops,
+                                    final_offset=state.offset,
+                                    scratch=bytes(state.scratch)))
+
+
+class _SplitCollector:
+    """Gathers the segments of a split first hop for an io_uring chain."""
+
+    def __init__(self, state: ChainState, segment_count: int):
+        self.state = state
+        self.remaining = segment_count
+        self.chunks = []
+
+    def segment_done(self, event) -> None:
+        self.chunks.append(event.value.data)
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.state.finish(
+                ReadResult(b"".join(self.chunks),
+                           status=ReadResult.SPLIT_FALLBACK, hops=1,
+                           final_offset=self.state.offset,
+                           scratch=bytes(self.state.scratch)))

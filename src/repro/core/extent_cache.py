@@ -1,0 +1,118 @@
+"""The NVMe-layer soft-state extent cache (paper §4, Translation & Security).
+
+When the install ioctl attaches a function to a file, the file's extents are
+snapshotted into this cache.  Chained resubmissions translate file offsets
+to LBAs against the snapshot **without any file-system call** — the whole
+point of the design — and can only ever reach blocks belonging to that file
+(the security property).
+
+The file system publishes extent-change events; an *unmap* (blocks removed
+or moved) invalidates the snapshot, ongoing chains are aborted with
+``EEXTENT``, and the application must re-run the ioctl.  Pure growth keeps
+cached translations valid, although offsets beyond the snapshot miss and
+also require a refresh — the heavy-handed-but-simple protocol of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.device.blockdev import SECTOR_SIZE
+from repro.kernel.extfs import BLOCK_SIZE, ExtFs, Inode, SECTORS_PER_BLOCK
+
+__all__ = ["CacheEntry", "NvmeExtentCache", "Translation"]
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Outcome of translating (offset, length) against a snapshot."""
+
+    MISS = "miss"          # not covered by the snapshot -> EEXTENT
+    SPLIT = "split"        # crosses discontiguous extents -> BIO fallback
+    OK = "ok"
+
+    status: str
+    lba: int = -1
+    sectors: int = 0
+
+
+class CacheEntry:
+    """One file's snapshotted extents, valid while ``valid`` is True."""
+
+    __slots__ = ("ino", "extents", "epoch", "valid")
+
+    def __init__(self, ino: int, extents: List[Tuple[int, int, int]],
+                 epoch: int):
+        self.ino = ino
+        # (file_block, phys_block, count), sorted by file_block.
+        self.extents = extents
+        self.epoch = epoch
+        self.valid = True
+
+    def lookup_block(self, file_block: int) -> Optional[int]:
+        for start, phys, count in self.extents:
+            if start <= file_block < start + count:
+                return phys + (file_block - start)
+        return None
+
+    def translate(self, offset: int, length: int) -> Translation:
+        """Map a byte range to one contiguous LBA run, else SPLIT/MISS."""
+        if offset % SECTOR_SIZE or length % SECTOR_SIZE or length <= 0:
+            return Translation(Translation.MISS)
+        first_block = offset // BLOCK_SIZE
+        last_block = (offset + length - 1) // BLOCK_SIZE
+        first_phys = self.lookup_block(first_block)
+        if first_phys is None:
+            return Translation(Translation.MISS)
+        expected = first_phys
+        for block in range(first_block, last_block + 1):
+            phys = self.lookup_block(block)
+            if phys is None:
+                return Translation(Translation.MISS)
+            if phys != expected:
+                return Translation(Translation.SPLIT)
+            expected = phys + 1
+        within = offset % BLOCK_SIZE
+        lba = first_phys * SECTORS_PER_BLOCK + within // SECTOR_SIZE
+        return Translation(Translation.OK, lba=lba,
+                           sectors=length // SECTOR_SIZE)
+
+
+class NvmeExtentCache:
+    """All snapshots held at the (simulated) NVMe layer, keyed by inode."""
+
+    def __init__(self, fs: ExtFs):
+        self.fs = fs
+        self._entries: Dict[int, CacheEntry] = {}
+        self._epoch = 0
+        self.invalidations = 0
+        self.refreshes = 0
+        fs.extent_change_listeners.append(self._on_extent_change)
+
+    def install(self, inode: Inode) -> CacheEntry:
+        """(Re)snapshot the inode's extents; called by the install ioctl."""
+        self._epoch += 1
+        snapshot = [
+            (extent.file_block, extent.phys_block, extent.count)
+            for extent in inode.extents
+        ]
+        entry = CacheEntry(inode.number, snapshot, self._epoch)
+        self._entries[inode.number] = entry
+        self.refreshes += 1
+        return entry
+
+    def entry(self, inode: Inode) -> Optional[CacheEntry]:
+        return self._entries.get(inode.number)
+
+    def _on_extent_change(self, inode: Inode, kind: str) -> None:
+        """The new file-system hook of §4: unmaps invalidate the snapshot."""
+        if kind != "unmap":
+            return
+        entry = self._entries.get(inode.number)
+        if entry is not None and entry.valid:
+            entry.valid = False
+            self.invalidations += 1
+
+    def drop(self, inode: Inode) -> None:
+        self._entries.pop(inode.number, None)

@@ -1,0 +1,407 @@
+"""Prebuilt, verifier-friendly BPF programs for common on-disk structures.
+
+This is the "library of BPF functions to accelerate access to popular data
+structures" the paper envisions (§4).  Programs are generated with
+:class:`~repro.ebpf.builder.ProgramBuilder` against the storage context
+layout and the page formats of :mod:`repro.structures.pages`:
+
+* :func:`index_traversal_program` — walks any paged index whose pages are
+  ``(magic, level, nkeys, entries[(key, value)])``: interior pages resubmit
+  the child offset, leaf pages return (value, found).  Used for both the
+  B+-tree and the SSTable two-level index; the in-page search is a bounded
+  binary search, written with the explicit clamps the verifier needs to
+  prove every access in bounds.
+* :func:`scan_aggregate_program` — the iterator/aggregation pushdown case:
+  scans ``arg2`` consecutive leaf pages, counting and summing values whose
+  keys fall in ``[arg0, arg1]``, keeping accumulators in the scratch area
+  and returning (sum, count) without ever surfacing a page to user space.
+
+Because the chain fallback path re-runs these exact programs in user space
+(see :meth:`repro.core.api.StorageBpf.read_chain_robust`), no separate
+"user-space equivalent" is needed — the program *is* the structure
+definition, which is the exokernel point of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.builder import ProgramBuilder
+from repro.ebpf.program import Program
+from repro.errors import InvalidArgument
+from repro.core.hooks import (
+    ACTION_RESUBMIT,
+    ACTION_RETURN_BUFFER,
+    ACTION_RETURN_VALUE,
+    CTX_ACTION,
+    CTX_ARG0,
+    CTX_ARG1,
+    CTX_ARG2,
+    CTX_DATA,
+    CTX_FILE_OFFSET,
+    CTX_NEXT_OFFSET,
+    CTX_RESULT,
+    CTX_RESULT2,
+    CTX_SCRATCH,
+    storage_ctx_layout,
+)
+from repro.structures.pages import FANOUT_MAX, PAGE_HEADER_SIZE
+
+__all__ = [
+    "index_traversal_program",
+    "linked_list_program",
+    "scan_aggregate_program",
+    "wisckey_get_program",
+]
+
+# Register conventions used by the generators below.
+R_CTX = 1
+R_DATA = 2
+R_KEY = 3
+R_LO = 4
+R_HI = 5
+R_NKEYS = 6
+R_MID = 7
+R_TMP = 8
+R_ADDR = 9
+R_VAL = 0
+
+
+def _search_iterations(fanout: int) -> int:
+    iterations = 1
+    while (1 << iterations) <= fanout:
+        iterations += 1
+    return iterations
+
+
+def _emit_page_search(b: ProgramBuilder, fanout: int, miss):
+    """Emit the bounded in-page search shared by the traversal programs.
+
+    Expects the page pointer in ``R_DATA`` and the target key in ``R_KEY``.
+    Jumps to ``miss`` when every entry key exceeds the target; otherwise
+    falls through with ``R_VAL`` = entries[index].value, ``R_TMP`` =
+    entries[index].key, and ``R_HI`` = the page header's level field.
+    Every pointer offset is explicitly clamped so the verifier can bound
+    the accesses statically.
+    """
+    iterations = _search_iterations(fanout)
+    max_index = fanout - 1
+
+    b.ldx("h", R_NKEYS, R_DATA, 6)     # header.nkeys
+    clamp_ok = b.label("nkeys_ok")
+    b.branch("jle", R_NKEYS, clamp_ok, imm=fanout)
+    b.mov(R_NKEYS, fanout)
+    b.place(clamp_ok)
+
+    # Binary search for the largest entry with key <= target.
+    b.mov(R_LO, 0)
+    b.mov_reg(R_HI, R_NKEYS)
+    for _round in range(iterations):
+        skip = b.label()
+        b.branch("jge", R_LO, skip, src=R_HI)       # lo >= hi: settled
+        b.mov_reg(R_MID, R_LO)
+        b.alu("add", R_MID, src=R_HI)
+        b.alu("rsh", R_MID, imm=1)                  # mid = (lo+hi)/2
+        clamped = b.label()
+        b.branch("jle", R_MID, clamped, imm=max_index)
+        b.mov(R_MID, max_index)                     # verifier clamp
+        b.place(clamped)
+        b.mov_reg(R_ADDR, R_MID)
+        b.alu("lsh", R_ADDR, imm=4)                 # mid * 16
+        b.alu("add", R_ADDR, imm=PAGE_HEADER_SIZE)
+        b.mov_reg(R_TMP, R_DATA)
+        b.alu("add", R_TMP, src=R_ADDR)
+        b.ldx("dw", R_TMP, R_TMP, 0)                # entries[mid].key
+        greater = b.label()
+        b.branch("jgt", R_TMP, greater, src=R_KEY)
+        b.mov_reg(R_LO, R_MID)
+        b.alu("add", R_LO, imm=1)                   # lo = mid + 1
+        b.jump(skip)
+        b.place(greater)
+        b.mov_reg(R_HI, R_MID)                      # hi = mid
+        b.place(skip)
+
+    b.branch("jeq", R_LO, miss, imm=0)              # every key > target
+    b.mov_reg(R_MID, R_LO)
+    b.alu("sub", R_MID, imm=1)                      # index = lo - 1
+    clamped = b.label()
+    b.branch("jle", R_MID, clamped, imm=max_index)
+    b.mov(R_MID, max_index)
+    b.place(clamped)
+    b.mov_reg(R_ADDR, R_MID)
+    b.alu("lsh", R_ADDR, imm=4)
+    b.alu("add", R_ADDR, imm=PAGE_HEADER_SIZE)
+    b.mov_reg(R_TMP, R_DATA)
+    b.alu("add", R_TMP, src=R_ADDR)
+    b.ldx("dw", R_VAL, R_TMP, 8)                    # entries[index].value
+    b.ldx("dw", R_TMP, R_TMP, 0)                    # entries[index].key
+    b.ldx("h", R_HI, R_DATA, 4)                     # header.level
+
+
+def index_traversal_program(block_size: int = 4096,
+                            scratch_size: int = 256,
+                            fanout: int = FANOUT_MAX,
+                            name: str = "index-traversal") -> Program:
+    """One hop of a paged-index lookup: search, then descend or answer.
+
+    Contract: ``arg0`` holds the target key.  On interior pages (header
+    ``level > 0``) the program requests a resubmission at the child's file
+    offset; on leaves it returns ``result = value`` and ``result2 = 1`` on
+    an exact match, ``result2 = 0`` otherwise.
+    """
+    if not 2 <= fanout <= FANOUT_MAX:
+        raise InvalidArgument(f"fanout must be in [2, {FANOUT_MAX}]")
+    layout = storage_ctx_layout(block_size, scratch_size)
+    b = ProgramBuilder(layout, name=name)
+
+    b.ldx("dw", R_DATA, R_CTX, CTX_DATA)
+    b.ldx("dw", R_KEY, R_CTX, CTX_ARG0)
+    miss = b.label("miss")
+    _emit_page_search(b, fanout, miss)
+
+    leaf = b.label("leaf")
+    b.branch("jeq", R_HI, leaf, imm=0)
+    # Interior page: recycle the descriptor at the child's offset.
+    b.mov(R_LO, ACTION_RESUBMIT)
+    b.stx("dw", R_CTX, CTX_ACTION, R_LO)
+    b.stx("dw", R_CTX, CTX_NEXT_OFFSET, R_VAL)
+    b.mov(R_VAL, 0)
+    b.exit()
+
+    b.place(leaf)
+    found = b.label("found")
+    b.branch("jeq", R_TMP, found, src=R_KEY)
+    b.place(miss)
+    b.mov(R_LO, ACTION_RETURN_VALUE)
+    b.stx("dw", R_CTX, CTX_ACTION, R_LO)
+    b.mov(R_LO, 0)
+    b.stx("dw", R_CTX, CTX_RESULT, R_LO)
+    b.stx("dw", R_CTX, CTX_RESULT2, R_LO)           # result2 = 0: not found
+    b.mov(R_VAL, 0)
+    b.exit()
+
+    b.place(found)
+    b.mov(R_LO, ACTION_RETURN_VALUE)
+    b.stx("dw", R_CTX, CTX_ACTION, R_LO)
+    b.stx("dw", R_CTX, CTX_RESULT, R_VAL)
+    b.mov(R_LO, 1)
+    b.stx("dw", R_CTX, CTX_RESULT2, R_LO)           # result2 = 1: found
+    b.mov(R_VAL, 0)
+    b.exit()
+    return b.build()
+
+
+def scan_aggregate_program(block_size: int = 4096,
+                           scratch_size: int = 256,
+                           fanout: int = FANOUT_MAX,
+                           name: str = "scan-aggregate") -> Program:
+    """Filtered aggregation pushdown over consecutive data pages.
+
+    Contract: ``arg0``/``arg1`` bound the key predicate (inclusive),
+    ``arg2`` is the number of consecutive pages to scan.  Scratch layout:
+    pages scanned at offset 0, matching-entry count at 8, value sum at 16.
+    On the last page the program returns ``result = sum``,
+    ``result2 = count``.  No page data ever reaches user space.
+    """
+    if not 2 <= fanout <= FANOUT_MAX:
+        raise InvalidArgument(f"fanout must be in [2, {FANOUT_MAX}]")
+    if scratch_size < 24:
+        raise InvalidArgument("scan program needs >= 24 scratch bytes")
+    layout = storage_ctx_layout(block_size, scratch_size)
+    b = ProgramBuilder(layout, name=name)
+    max_index = fanout - 1
+
+    R_SCR = 3       # scratch pointer
+    R_LOW = 4       # predicate low
+    R_HIGH = 5      # predicate high
+    R_I = 6         # entry index
+    R_N = 7         # nkeys (clamped)
+    R_ENT = 8       # entry pointer / key
+    R_T = 9         # temp value
+
+    b.ldx("dw", R_DATA, R_CTX, CTX_DATA)
+    b.ldx("dw", R_SCR, R_CTX, CTX_SCRATCH)
+    b.ldx("dw", R_LOW, R_CTX, CTX_ARG0)
+    b.ldx("dw", R_HIGH, R_CTX, CTX_ARG1)
+
+    b.ldx("h", R_N, R_DATA, 6)                       # header.nkeys
+    clamp = b.label()
+    b.branch("jle", R_N, clamp, imm=fanout)
+    b.mov(R_N, fanout)
+    b.place(clamp)
+
+    # Entry loop.  Accumulators live in scratch so both predicate outcomes
+    # rejoin with identical register state (keeps verification linear).
+    b.mov(R_I, 0)
+    loop = b.label("loop")
+    done = b.label("done")
+    b.place(loop)
+    b.branch("jge", R_I, done, src=R_N)
+    clamped = b.label()
+    b.branch("jle", R_I, clamped, imm=max_index)
+    b.mov(R_I, max_index)
+    b.place(clamped)
+    b.mov_reg(R_ENT, R_I)
+    b.alu("lsh", R_ENT, imm=4)
+    b.alu("add", R_ENT, imm=PAGE_HEADER_SIZE)
+    b.alu("add", R_ENT, src=R_DATA)                  # &entries[i]
+    b.ldx("dw", R_T, R_ENT, 0)                       # key
+    skip_entry = b.label()
+    b.branch("jlt", R_T, skip_entry, src=R_LOW)
+    b.branch("jgt", R_T, skip_entry, src=R_HIGH)
+    # Matching entry: count += 1, sum += value (in scratch).
+    b.ldx("dw", R_T, R_SCR, 8)
+    b.alu("add", R_T, imm=1)
+    b.stx("dw", R_SCR, 8, R_T)
+    b.ldx("dw", R_T, R_ENT, 8)                       # value
+    b.ldx("dw", R_ENT, R_SCR, 16)
+    b.alu("add", R_ENT, src=R_T)
+    b.stx("dw", R_SCR, 16, R_ENT)
+    b.place(skip_entry)
+    # Normalise temps so both paths rejoin identically.
+    b.mov(R_ENT, 0)
+    b.mov(R_T, 0)
+    b.alu("add", R_I, imm=1)
+    b.jump(loop)
+    b.place(done)
+
+    # Page accounting: scratch[0] += 1; done when it reaches arg2.
+    b.ldx("dw", R_T, R_SCR, 0)
+    b.alu("add", R_T, imm=1)
+    b.stx("dw", R_SCR, 0, R_T)
+    b.ldx("dw", R_ENT, R_CTX, CTX_ARG2)
+    finish = b.label("finish")
+    b.branch("jge", R_T, finish, src=R_ENT)
+    # More pages: resubmit at the next consecutive page.
+    b.ldx("dw", R_T, R_CTX, CTX_FILE_OFFSET)
+    b.alu("add", R_T, imm=block_size)
+    b.mov(R_ENT, ACTION_RESUBMIT)
+    b.stx("dw", R_CTX, CTX_ACTION, R_ENT)
+    b.stx("dw", R_CTX, CTX_NEXT_OFFSET, R_T)
+    b.mov(R_VAL, 0)
+    b.exit()
+
+    b.place(finish)
+    b.mov(R_ENT, ACTION_RETURN_VALUE)
+    b.stx("dw", R_CTX, CTX_ACTION, R_ENT)
+    b.ldx("dw", R_T, R_SCR, 16)
+    b.stx("dw", R_CTX, CTX_RESULT, R_T)              # result = sum
+    b.ldx("dw", R_T, R_SCR, 8)
+    b.stx("dw", R_CTX, CTX_RESULT2, R_T)             # result2 = count
+    b.mov(R_VAL, 0)
+    b.exit()
+    return b.build()
+
+
+def wisckey_get_program(block_size: int = 4096, scratch_size: int = 256,
+                        fanout: int = FANOUT_MAX,
+                        name: str = "wisckey-get") -> Program:
+    """Index traversal plus a value-log dereference (WiscKey layout).
+
+    Contract: ``arg0`` holds the target key.  Phase lives in scratch[0]:
+    phase 0 walks the B-tree exactly like :func:`index_traversal_program`,
+    but a leaf hit resubmits once more at the *log record offset* stored in
+    the leaf; phase 1 validates the record's key and returns the record
+    block to the application (``result = value_len``, ``result2 = 1``).
+    A miss at either phase returns ``result2 = 0``.
+    """
+    if not 2 <= fanout <= FANOUT_MAX:
+        raise InvalidArgument(f"fanout must be in [2, {FANOUT_MAX}]")
+    layout = storage_ctx_layout(block_size, scratch_size)
+    b = ProgramBuilder(layout, name=name)
+
+    b.ldx("dw", R_DATA, R_CTX, CTX_DATA)
+    b.ldx("dw", R_KEY, R_CTX, CTX_ARG0)
+    b.ldx("dw", R_ADDR, R_CTX, CTX_SCRATCH)
+    b.ldx("dw", R_TMP, R_ADDR, 0)                   # phase
+    log_phase = b.label("log_phase")
+    b.branch("jeq", R_TMP, log_phase, imm=1)
+
+    # ---- phase 0: index traversal -------------------------------------
+    miss = b.label("miss")
+    _emit_page_search(b, fanout, miss)
+    leaf = b.label("leaf")
+    b.branch("jeq", R_HI, leaf, imm=0)
+    # Interior page: descend.
+    b.mov(R_LO, ACTION_RESUBMIT)
+    b.stx("dw", R_CTX, CTX_ACTION, R_LO)
+    b.stx("dw", R_CTX, CTX_NEXT_OFFSET, R_VAL)
+    b.mov(R_VAL, 0)
+    b.exit()
+
+    b.place(leaf)
+    found = b.label("leaf_found")
+    b.branch("jeq", R_TMP, found, src=R_KEY)
+    b.place(miss)
+    b.mov(R_LO, ACTION_RETURN_VALUE)
+    b.stx("dw", R_CTX, CTX_ACTION, R_LO)
+    b.mov(R_LO, 0)
+    b.stx("dw", R_CTX, CTX_RESULT, R_LO)
+    b.stx("dw", R_CTX, CTX_RESULT2, R_LO)           # not found
+    b.mov(R_VAL, 0)
+    b.exit()
+
+    b.place(found)
+    # Leaf hit: R_VAL holds the log record offset.  Flip to phase 1 and
+    # chain one more hop into the value log.
+    b.ldx("dw", R_ADDR, R_CTX, CTX_SCRATCH)
+    b.mov(R_LO, 1)
+    b.stx("dw", R_ADDR, 0, R_LO)                    # scratch.phase = 1
+    b.mov(R_LO, ACTION_RESUBMIT)
+    b.stx("dw", R_CTX, CTX_ACTION, R_LO)
+    b.stx("dw", R_CTX, CTX_NEXT_OFFSET, R_VAL)
+    b.mov(R_VAL, 0)
+    b.exit()
+
+    # ---- phase 1: the value-log record --------------------------------
+    b.place(log_phase)
+    b.ldx("dw", R_TMP, R_DATA, 0)                   # record key
+    record_ok = b.label("record_ok")
+    b.branch("jeq", R_TMP, record_ok, src=R_KEY)
+    b.mov(R_LO, ACTION_RETURN_VALUE)                # corrupt/missing record
+    b.stx("dw", R_CTX, CTX_ACTION, R_LO)
+    b.mov(R_LO, 0)
+    b.stx("dw", R_CTX, CTX_RESULT, R_LO)
+    b.stx("dw", R_CTX, CTX_RESULT2, R_LO)
+    b.mov(R_VAL, 0)
+    b.exit()
+
+    b.place(record_ok)
+    b.mov(R_LO, ACTION_RETURN_BUFFER)               # hand the block back
+    b.stx("dw", R_CTX, CTX_ACTION, R_LO)
+    b.ldx("dw", R_TMP, R_DATA, 8)                   # value length
+    b.stx("dw", R_CTX, CTX_RESULT, R_TMP)
+    b.mov(R_LO, 1)
+    b.stx("dw", R_CTX, CTX_RESULT2, R_LO)
+    b.mov(R_VAL, 0)
+    b.exit()
+    return b.build()
+
+
+def linked_list_program(block_size: int = 4096, scratch_size: int = 256,
+                        name: str = "linked-list") -> Program:
+    """Walk blocks whose first 8 bytes point at the next block.
+
+    The minimal dependent-I/O structure (used by tests and the quickstart):
+    a terminator of all-ones returns the payload at byte 8.
+    """
+    layout = storage_ctx_layout(block_size, scratch_size)
+    b = ProgramBuilder(layout, name=name)
+    b.ldx("dw", R_DATA, R_CTX, CTX_DATA)
+    b.ldx("dw", R_TMP, R_DATA, 0)                    # next offset
+    b.mov(R_MID, -1)                                 # 0xffff... terminator
+    done = b.label("done")
+    b.branch("jeq", R_TMP, done, src=R_MID)
+    b.mov(R_LO, ACTION_RESUBMIT)
+    b.stx("dw", R_CTX, CTX_ACTION, R_LO)
+    b.stx("dw", R_CTX, CTX_NEXT_OFFSET, R_TMP)
+    b.mov(R_VAL, 0)
+    b.exit()
+    b.place(done)
+    b.ldx("dw", R_TMP, R_DATA, 8)                    # payload
+    b.mov(R_LO, ACTION_RETURN_VALUE)
+    b.stx("dw", R_CTX, CTX_ACTION, R_LO)
+    b.stx("dw", R_CTX, CTX_RESULT, R_TMP)
+    b.mov(R_LO, 1)
+    b.stx("dw", R_CTX, CTX_RESULT2, R_LO)
+    b.mov(R_VAL, 0)
+    b.exit()
+    return b.build()

@@ -1,0 +1,37 @@
+"""Storage device models.
+
+* :mod:`~repro.device.blockdev` — the backing store: a sector-addressed,
+  sparse in-memory block device.
+* :mod:`~repro.device.latency` — per-generation service latency profiles for
+  the four devices of the paper's Figure 1 (HDD, NAND SSD, first- and
+  second-generation Optane).
+* :mod:`~repro.device.nvme` — the NVMe device: submission/completion queues,
+  bounded internal parallelism, interrupt delivery into the simulated kernel.
+* :mod:`~repro.device.trace` — I/O trace recording for tests and debugging.
+"""
+
+from repro.device.blockdev import BlockDevice
+from repro.device.latency import (
+    DEVICE_PROFILES,
+    HDD,
+    NAND_SSD,
+    NVM_GEN1,
+    NVM_GEN2,
+    LatencyModel,
+)
+from repro.device.nvme import NvmeCommand, NvmeDevice
+from repro.device.trace import IoTrace, TraceEntry
+
+__all__ = [
+    "BlockDevice",
+    "DEVICE_PROFILES",
+    "HDD",
+    "IoTrace",
+    "LatencyModel",
+    "NAND_SSD",
+    "NVM_GEN1",
+    "NVM_GEN2",
+    "NvmeCommand",
+    "NvmeDevice",
+    "TraceEntry",
+]

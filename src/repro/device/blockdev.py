@@ -1,0 +1,74 @@
+"""Sector-addressed sparse in-memory block store.
+
+This is the "media" behind the NVMe device model: a flat array of 512-byte
+sectors, stored sparsely so multi-gigabyte devices cost memory only for the
+sectors actually written.  It has no timing — service latency lives in
+:mod:`repro.device.nvme`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import InvalidArgument, IoError
+
+__all__ = ["BlockDevice", "SECTOR_SIZE"]
+
+SECTOR_SIZE = 512
+
+
+class BlockDevice:
+    """A sparse array of ``capacity_sectors`` sectors of 512 bytes."""
+
+    def __init__(self, capacity_sectors: int):
+        if capacity_sectors < 1:
+            raise InvalidArgument("device needs at least one sector")
+        self.capacity_sectors = capacity_sectors
+        self._sectors: Dict[int, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_sectors * SECTOR_SIZE
+
+    def _check_range(self, lba: int, count: int) -> None:
+        if count < 1:
+            raise InvalidArgument(f"sector count must be positive, got {count}")
+        if lba < 0 or lba + count > self.capacity_sectors:
+            raise IoError(
+                f"access [{lba}, {lba + count}) beyond device end "
+                f"({self.capacity_sectors} sectors)"
+            )
+
+    def read(self, lba: int, count: int) -> bytes:
+        """Read ``count`` sectors starting at ``lba``; unwritten reads zeros."""
+        self._check_range(lba, count)
+        self.reads += count
+        zero = bytes(SECTOR_SIZE)
+        return b"".join(
+            self._sectors.get(sector, zero) for sector in range(lba, lba + count)
+        )
+
+    def write(self, lba: int, data: bytes) -> None:
+        """Write whole sectors starting at ``lba``."""
+        if len(data) % SECTOR_SIZE != 0:
+            raise InvalidArgument(
+                f"write length {len(data)} is not sector-aligned"
+            )
+        count = len(data) // SECTOR_SIZE
+        self._check_range(lba, count)
+        self.writes += count
+        for index in range(count):
+            chunk = bytes(data[index * SECTOR_SIZE : (index + 1) * SECTOR_SIZE])
+            self._sectors[lba + index] = chunk
+
+    def discard(self, lba: int, count: int) -> None:
+        """TRIM: drop sectors back to zeroes (frees memory)."""
+        self._check_range(lba, count)
+        for sector in range(lba, lba + count):
+            self._sectors.pop(sector, None)
+
+    def written_sectors(self) -> int:
+        """Number of sectors currently holding data (for tests)."""
+        return len(self._sectors)

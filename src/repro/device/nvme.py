@@ -1,0 +1,154 @@
+"""The NVMe device model: queues, bounded parallelism, interrupt delivery.
+
+The device pulls commands from its submission queue into up to
+``model.parallelism`` concurrent service slots (this bound is what gives the
+device an IOPS ceiling), spends the sampled media latency, moves the data,
+and then raises a *completion interrupt* by invoking the handler the NVMe
+driver registered.  Everything after that point — interrupt CPU cost, the
+BPF completion hook, walking the completion back up the stack — belongs to
+the kernel layers, not the device.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.errors import InvalidArgument, IoError
+from repro.device.blockdev import SECTOR_SIZE, BlockDevice
+from repro.device.latency import LatencyModel
+from repro.device.trace import IoTrace, TraceEntry
+from repro.sim import Simulator, Store
+
+__all__ = ["NvmeCommand", "NvmeDevice"]
+
+
+class NvmeCommand:
+    """One NVMe command.
+
+    For reads, ``data`` is filled by the device at completion.  ``cookie``
+    is opaque driver context (the simulated kernel hangs its per-I/O state
+    off it).  ``source`` records who enqueued the command ("bio" for the
+    normal stack, "bpf-recycle" for a descriptor recycled by the completion
+    hook), which traces and tests rely on.
+    """
+
+    __slots__ = ("opcode", "lba", "sectors", "data", "cookie", "source",
+                 "submit_ns", "complete_ns", "status")
+
+    def __init__(self, opcode: str, lba: int, sectors: int,
+                 data: Optional[bytes] = None, cookie: Any = None,
+                 source: str = "bio"):
+        if opcode not in ("read", "write"):
+            raise InvalidArgument(f"bad NVMe opcode {opcode!r}")
+        if opcode == "write" and data is None:
+            raise InvalidArgument("write command needs data")
+        if opcode == "write" and data is not None and \
+                len(data) != sectors * SECTOR_SIZE:
+            raise InvalidArgument("write data length != sectors * 512")
+        self.opcode = opcode
+        self.lba = lba
+        self.sectors = sectors
+        self.data = data
+        self.cookie = cookie
+        self.source = source
+        self.submit_ns = -1
+        self.complete_ns = -1
+        self.status = 0
+
+    def retarget(self, lba: int, sectors: int) -> None:
+        """Recycle this descriptor for a new read (the paper's §4 recycle)."""
+        self.lba = lba
+        self.sectors = sectors
+        self.data = None
+        self.status = 0
+
+    def __repr__(self) -> str:
+        return (f"NvmeCommand({self.opcode} lba={self.lba} "
+                f"sectors={self.sectors} source={self.source})")
+
+
+class NvmeDevice:
+    """Submission queue + parallel service slots + completion interrupts."""
+
+    def __init__(self, sim: Simulator, model: LatencyModel,
+                 media: BlockDevice, rng: random.Random,
+                 trace: Optional[IoTrace] = None):
+        self.sim = sim
+        self.model = model
+        self.media = media
+        self.rng = rng
+        self.trace = trace if trace is not None else IoTrace(enabled=False)
+        self.submission_queue: Store = Store(sim, name="nvme-sq")
+        #: Registered by the NVMe driver; invoked once per completion at the
+        #: simulated completion instant.
+        self.completion_handler: Optional[Callable[[NvmeCommand], None]] = None
+        self.in_flight = 0
+        self.completed = 0
+        self.media_errors = 0
+        #: Fault injection: commands touching these LBAs complete with a
+        #: non-zero status (media error) instead of moving data.
+        self._failing_lbas: set = set()
+        for slot in range(model.parallelism):
+            sim.spawn(self._service_loop(), name=f"nvme-slot-{slot}")
+
+    # -- fault injection -----------------------------------------------------
+
+    def inject_media_error(self, lba: int, sectors: int = 1) -> None:
+        """Make reads/writes touching [lba, lba+sectors) fail."""
+        self._failing_lbas.update(range(lba, lba + sectors))
+
+    def clear_media_errors(self) -> None:
+        self._failing_lbas.clear()
+
+    def _command_fails(self, command: NvmeCommand) -> bool:
+        if not self._failing_lbas:
+            return False
+        return any(lba in self._failing_lbas
+                   for lba in range(command.lba,
+                                    command.lba + command.sectors))
+
+    def submit(self, command: NvmeCommand) -> None:
+        """Post a command to the submission queue (no CPU cost here; the
+        driver charges its own submission cost)."""
+        command.submit_ns = self.sim.now
+        self.in_flight += 1
+        self.submission_queue.put(command)
+
+    @property
+    def queue_depth(self) -> int:
+        return self.in_flight
+
+    def _service_loop(self):
+        while True:
+            command = yield self.submission_queue.get()
+            if command.opcode == "read":
+                latency = self.model.sample_read(self.rng)
+            else:
+                latency = self.model.sample_write(self.rng)
+            yield self.sim.timeout(latency)
+            self._do_media(command)
+            command.complete_ns = self.sim.now
+            self.in_flight -= 1
+            self.completed += 1
+            self.trace.record(
+                TraceEntry(command.submit_ns, command.complete_ns,
+                           command.opcode, command.lba, command.sectors,
+                           command.source)
+            )
+            handler = self.completion_handler
+            if handler is None:
+                raise IoError("NVMe completion with no handler registered")
+            handler(command)
+
+    def _do_media(self, command: NvmeCommand) -> None:
+        if self._command_fails(command):
+            command.status = 1  # NVMe media error
+            self.media_errors += 1
+            if command.opcode == "read":
+                command.data = b""
+            return
+        if command.opcode == "read":
+            command.data = self.media.read(command.lba, command.sectors)
+        else:
+            self.media.write(command.lba, command.data)

@@ -1,0 +1,60 @@
+"""I/O trace recording.
+
+A trace captures every command the NVMe device serviced, with submit and
+complete timestamps and the *source* of the submission — the BIO layer or a
+BPF recycle from the completion hook — which is how tests assert that
+chained reissues really bypassed the kernel stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["IoTrace", "TraceEntry"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One serviced command."""
+
+    submit_ns: int
+    complete_ns: int
+    opcode: str
+    lba: int
+    sectors: int
+    source: str  # "bio" | "bpf-recycle" | ...
+
+    @property
+    def service_ns(self) -> int:
+        return self.complete_ns - self.submit_ns
+
+
+class IoTrace:
+    """An append-only list of trace entries with simple query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.entries: List[TraceEntry] = []
+
+    def record(self, entry: TraceEntry) -> None:
+        if self.enabled:
+            self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def count(self, opcode: Optional[str] = None,
+              source: Optional[str] = None) -> int:
+        return sum(
+            1
+            for entry in self.entries
+            if (opcode is None or entry.opcode == opcode)
+            and (source is None or entry.source == source)
+        )
+
+    def clear(self) -> None:
+        self.entries.clear()

@@ -1,0 +1,213 @@
+"""Two-pass textual assembler for the eBPF-subset ISA.
+
+Syntax, one instruction per line (``;`` or ``#`` starts a comment)::
+
+    start:
+        mov   r1, 42          ; immediate
+        mov   r2, r1          ; register
+        add32 r2, 7           ; 32-bit ALU form
+        lddw  r3, 0x1122334455667788
+        ldxw  r4, [r1+16]     ; load 4 bytes
+        stxdw [r10-8], r4     ; store register
+        stw   [r10-16], 7     ; store immediate
+        jeq   r1, 42, done    ; conditional jump to label
+        jlt   r1, r2, start
+        ja    done
+        call  trace           ; helper by name (or numeric id)
+    done:
+        exit
+
+Numeric literals accept decimal, hex (``0x``), and negative values.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.errors import AssemblerError
+from repro.ebpf.isa import ALU_OPS, Instruction, JMP_OPS, MEM_SIZES
+
+__all__ = ["assemble"]
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_MEM_RE = re.compile(r"^\[\s*r(\d+)\s*(?:([+-])\s*(\w+)\s*)?\]$")
+_REG_RE = re.compile(r"^r(\d+)$")
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _parse_int(token: str, context: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer {token!r} in {context}") from None
+
+
+def _parse_reg(token: str, context: str) -> int:
+    match = _REG_RE.match(token)
+    if not match:
+        raise AssemblerError(f"expected register, got {token!r} in {context}")
+    reg = int(match.group(1))
+    if reg > 10:
+        raise AssemblerError(f"no such register r{reg} in {context}")
+    return reg
+
+
+def _parse_mem(token: str, context: str) -> "tuple[int, int]":
+    match = _MEM_RE.match(token)
+    if not match:
+        raise AssemblerError(f"expected [rN+off], got {token!r} in {context}")
+    reg = int(match.group(1))
+    if reg > 10:
+        raise AssemblerError(f"no such register r{reg} in {context}")
+    offset = 0
+    if match.group(3) is not None:
+        offset = _parse_int(match.group(3), context)
+        if match.group(2) == "-":
+            offset = -offset
+    return reg, offset
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split an operand string on top-level commas (none occur in brackets)."""
+    parts = [part.strip() for part in rest.split(",")]
+    return [part for part in parts if part]
+
+
+def assemble(
+    source: str,
+    helpers: Optional[Dict[str, int]] = None,
+) -> List[Instruction]:
+    """Assemble ``source`` into an instruction list.
+
+    ``helpers`` maps helper names to ids for ``call name`` syntax; ``call``
+    with a numeric operand always works.
+    """
+    helpers = helpers or {}
+
+    # Pass 1: strip comments, collect labels and raw instruction lines.
+    lines: List["tuple[int, str]"] = []  # (source line number, text)
+    labels: Dict[str, int] = {}
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split(";", 1)[0].split("#", 1)[0].strip()
+        if not text:
+            continue
+        label_match = _LABEL_RE.match(text)
+        if label_match:
+            name = label_match.group(1)
+            if name in labels:
+                raise AssemblerError(f"duplicate label {name!r} (line {lineno})")
+            labels[name] = len(lines)
+            continue
+        lines.append((lineno, text))
+
+    # Pass 2: encode each line.
+    out: List[Instruction] = []
+    for pc, (lineno, text) in enumerate(lines):
+        context = f"line {lineno}: {text!r}"
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        out.append(
+            _encode_line(mnemonic, operands, pc, labels, helpers, context)
+        )
+    if not out:
+        raise AssemblerError("no instructions in source")
+    return out
+
+
+def _branch_offset(target: str, pc: int, labels: Dict[str, int], context: str) -> int:
+    if target not in labels:
+        raise AssemblerError(f"unknown label {target!r} in {context}")
+    return labels[target] - pc - 1
+
+
+def _encode_line(
+    mnemonic: str,
+    operands: List[str],
+    pc: int,
+    labels: Dict[str, int],
+    helpers: Dict[str, int],
+    context: str,
+) -> Instruction:
+    if mnemonic == "exit":
+        if operands:
+            raise AssemblerError(f"exit takes no operands in {context}")
+        return Instruction("exit")
+
+    if mnemonic == "call":
+        if len(operands) != 1:
+            raise AssemblerError(f"call takes one operand in {context}")
+        target = operands[0]
+        if _NAME_RE.match(target) and target in helpers:
+            return Instruction("call", imm=helpers[target])
+        if _NAME_RE.match(target) and not target.lstrip("-").isdigit():
+            raise AssemblerError(f"unknown helper {target!r} in {context}")
+        return Instruction("call", imm=_parse_int(target, context))
+
+    if mnemonic == "ja":
+        if len(operands) != 1:
+            raise AssemblerError(f"ja takes one label in {context}")
+        return Instruction(
+            "ja", offset=_branch_offset(operands[0], pc, labels, context)
+        )
+
+    if mnemonic == "lddw":
+        if len(operands) != 2:
+            raise AssemblerError(f"lddw takes reg, imm64 in {context}")
+        dst = _parse_reg(operands[0], context)
+        return Instruction("lddw", dst=dst, imm=_parse_int(operands[1], context))
+
+    base = mnemonic[:-2] if mnemonic.endswith("32") else mnemonic
+    if base in ALU_OPS:
+        if base == "neg":
+            if len(operands) != 1:
+                raise AssemblerError(f"neg takes one register in {context}")
+            return Instruction(mnemonic, dst=_parse_reg(operands[0], context))
+        if len(operands) != 2:
+            raise AssemblerError(f"{mnemonic} takes dst, src in {context}")
+        dst = _parse_reg(operands[0], context)
+        if _REG_RE.match(operands[1]):
+            return Instruction(
+                mnemonic, dst=dst, src=_parse_reg(operands[1], context),
+                src_is_reg=True,
+            )
+        return Instruction(mnemonic, dst=dst, imm=_parse_int(operands[1], context))
+
+    if mnemonic in JMP_OPS:
+        if len(operands) != 3:
+            raise AssemblerError(f"{mnemonic} takes dst, src, label in {context}")
+        dst = _parse_reg(operands[0], context)
+        offset = _branch_offset(operands[2], pc, labels, context)
+        if _REG_RE.match(operands[1]):
+            return Instruction(
+                mnemonic, dst=dst, src=_parse_reg(operands[1], context),
+                offset=offset, src_is_reg=True,
+            )
+        return Instruction(
+            mnemonic, dst=dst, imm=_parse_int(operands[1], context), offset=offset
+        )
+
+    if mnemonic.startswith("ldx") and mnemonic[3:] in MEM_SIZES:
+        if len(operands) != 2:
+            raise AssemblerError(f"{mnemonic} takes reg, [mem] in {context}")
+        dst = _parse_reg(operands[0], context)
+        src, offset = _parse_mem(operands[1], context)
+        return Instruction(mnemonic, dst=dst, src=src, offset=offset)
+
+    if mnemonic.startswith("stx") and mnemonic[3:] in MEM_SIZES:
+        if len(operands) != 2:
+            raise AssemblerError(f"{mnemonic} takes [mem], reg in {context}")
+        dst, offset = _parse_mem(operands[0], context)
+        src = _parse_reg(operands[1], context)
+        return Instruction(mnemonic, dst=dst, src=src, offset=offset)
+
+    if mnemonic.startswith("st") and mnemonic[2:] in MEM_SIZES:
+        if len(operands) != 2:
+            raise AssemblerError(f"{mnemonic} takes [mem], imm in {context}")
+        dst, offset = _parse_mem(operands[0], context)
+        return Instruction(
+            mnemonic, dst=dst, offset=offset, imm=_parse_int(operands[1], context)
+        )
+
+    raise AssemblerError(f"unknown mnemonic {mnemonic!r} in {context}")

@@ -1,0 +1,140 @@
+"""BPF maps: fixed-size key/value stores shared between programs and user code.
+
+Maps are how real eBPF programs keep state across invocations and exchange
+data with user space; the storage hooks use them for per-chain statistics and
+for parameter blocks.  Keys and values are fixed-width byte strings, as in
+the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.errors import InvalidArgument
+
+__all__ = ["ArrayMap", "BpfMap", "HashMap"]
+
+
+class BpfMap:
+    """Common behaviour for all map types."""
+
+    kind = "map"
+
+    def __init__(self, key_size: int, value_size: int, max_entries: int,
+                 name: str = "map"):
+        if key_size < 1 or value_size < 1 or max_entries < 1:
+            raise InvalidArgument("map sizes must be positive")
+        self.key_size = key_size
+        self.value_size = value_size
+        self.max_entries = max_entries
+        self.name = name
+
+    def _check_key(self, key: bytes) -> bytes:
+        key = bytes(key)
+        if len(key) != self.key_size:
+            raise InvalidArgument(
+                f"map {self.name!r} key must be {self.key_size} bytes, "
+                f"got {len(key)}"
+            )
+        return key
+
+    def _check_value(self, value: bytes) -> bytes:
+        value = bytes(value)
+        if len(value) != self.value_size:
+            raise InvalidArgument(
+                f"map {self.name!r} value must be {self.value_size} bytes, "
+                f"got {len(value)}"
+            )
+        return value
+
+    # Subclass API -----------------------------------------------------------
+
+    def lookup(self, key: bytes) -> Optional[bytearray]:
+        """The live value buffer for ``key`` (mutations persist), or None."""
+        raise NotImplementedError
+
+    def update(self, key: bytes, value: bytes) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class HashMap(BpfMap):
+    """An open hash map with bounded entry count."""
+
+    kind = "hash"
+
+    def __init__(self, key_size: int, value_size: int, max_entries: int,
+                 name: str = "hash"):
+        super().__init__(key_size, value_size, max_entries, name)
+        self._entries: Dict[bytes, bytearray] = {}
+
+    def lookup(self, key: bytes) -> Optional[bytearray]:
+        return self._entries.get(self._check_key(key))
+
+    def update(self, key: bytes, value: bytes) -> None:
+        key = self._check_key(key)
+        value = self._check_value(value)
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            raise InvalidArgument(f"map {self.name!r} is full")
+        if key in self._entries:
+            self._entries[key][:] = value
+        else:
+            self._entries[key] = bytearray(value)
+
+    def delete(self, key: bytes) -> bool:
+        return self._entries.pop(self._check_key(key), None) is not None
+
+    def keys(self) -> Iterator[bytes]:
+        return iter(list(self._entries.keys()))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ArrayMap(BpfMap):
+    """An array map: keys are little-endian u32 indices, values preallocated."""
+
+    kind = "array"
+
+    def __init__(self, value_size: int, max_entries: int, name: str = "array"):
+        super().__init__(4, value_size, max_entries, name)
+        self._values = [bytearray(value_size) for _ in range(max_entries)]
+
+    def _index(self, key: bytes) -> int:
+        return int.from_bytes(self._check_key(key), "little")
+
+    def lookup(self, key: bytes) -> Optional[bytearray]:
+        index = self._index(key)
+        if index >= self.max_entries:
+            return None
+        return self._values[index]
+
+    def lookup_index(self, index: int) -> Optional[bytearray]:
+        """Convenience lookup by integer index."""
+        if not 0 <= index < self.max_entries:
+            return None
+        return self._values[index]
+
+    def update(self, key: bytes, value: bytes) -> None:
+        index = self._index(key)
+        if index >= self.max_entries:
+            raise InvalidArgument(
+                f"array map {self.name!r} index {index} out of range"
+            )
+        self._values[index][:] = self._check_value(value)
+
+    def delete(self, key: bytes) -> bool:
+        # Array map entries cannot be deleted (kernel semantics); zero instead.
+        index = self._index(key)
+        if index >= self.max_entries:
+            return False
+        self._values[index][:] = bytes(self.value_size)
+        return True
+
+    def __len__(self) -> int:
+        return self.max_entries

@@ -1,0 +1,639 @@
+"""Execution engines for verified programs.
+
+Two modes with identical semantics and identical runtime safety checks:
+
+* ``interp`` — decode-and-dispatch per instruction (the kernel's
+  interpreter).
+* ``jit`` — each instruction is pre-compiled to a Python closure once at
+  load time (standing in for the kernel's JIT; the ablation benchmark
+  compares the two).
+
+Memory model.  Registers hold either 64-bit unsigned integers or
+:class:`Pointer` values tagged with the :class:`Region` they point into.
+Every load/store is bounds-checked against its region even though the
+verifier already proved safety — the same defence-in-depth the kernel keeps
+for helper arguments.  The context struct is special-cased: loads of
+pointer-kind fields (per the program's :class:`~repro.ebpf.program.CtxLayout`)
+materialise pointers to the buffer regions the hook passed in, and stores are
+only allowed to fields the layout marks writable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import VmFault
+from repro.ebpf.helpers import ArgKind, HelperRegistry, RetKind
+from repro.ebpf.isa import FP_REG, MEM_SIZES, STACK_SIZE
+from repro.ebpf.maps import BpfMap
+from repro.ebpf.program import FieldKind, Program
+
+__all__ = ["ExecutionResult", "Pointer", "Region", "Vm", "VmEnvironment"]
+
+U64 = 0xFFFFFFFFFFFFFFFF
+U32 = 0xFFFFFFFF
+
+
+def _s64(value: int) -> int:
+    return value - 2**64 if value >= 2**63 else value
+
+
+def _s32(value: int) -> int:
+    return value - 2**32 if value >= 2**31 else value
+
+
+class Region:
+    """A named, bounds-checked span of bytes the program may touch."""
+
+    __slots__ = ("name", "data", "readable", "writable")
+
+    def __init__(self, name: str, data: bytearray, readable: bool = True,
+                 writable: bool = True):
+        self.name = name
+        self.data = data
+        self.readable = readable
+        self.writable = writable
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Region({self.name!r}, {len(self.data)}B)"
+
+
+class Pointer:
+    """A runtime pointer: region + byte offset."""
+
+    __slots__ = ("region", "offset")
+
+    def __init__(self, region: Region, offset: int):
+        self.region = region
+        self.offset = offset
+
+    def moved(self, delta: int) -> "Pointer":
+        return Pointer(self.region, self.offset + delta)
+
+    def __repr__(self) -> str:
+        return f"<{self.region.name}+{self.offset}>"
+
+
+class VmEnvironment:
+    """Maps, helpers, and a clock shared by program runs."""
+
+    def __init__(self, helpers: HelperRegistry,
+                 maps: Optional[Dict[int, BpfMap]] = None,
+                 clock: Optional[Callable[[], int]] = None):
+        self.helpers = helpers
+        self.maps: Dict[int, BpfMap] = dict(maps or {})
+        self._clock = clock or (lambda: 0)
+
+    def map(self, map_id: int) -> BpfMap:
+        if map_id not in self.maps:
+            raise VmFault(f"no map with id {map_id}")
+        return self.maps[map_id]
+
+    def now(self) -> int:
+        return self._clock()
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program run."""
+
+    return_value: int
+    instructions: int
+    trace_log: List[int] = field(default_factory=list)
+    helper_calls: int = 0
+
+
+class Vm:
+    """Executes a verified :class:`Program` against an environment."""
+
+    def __init__(self, program: Program, env: VmEnvironment,
+                 mode: str = "interp", max_instructions: int = 1_000_000,
+                 require_verified: bool = True):
+        if mode not in ("interp", "jit"):
+            raise VmFault(f"unknown execution mode {mode!r}")
+        if require_verified and not program.verified:
+            raise VmFault(
+                f"program {program.name!r} was not accepted by the verifier"
+            )
+        self.program = program
+        self.env = env
+        self.mode = mode
+        self.max_instructions = max_instructions
+        self.trace_log: List[int] = []
+        self._compiled = None
+        if mode == "jit":
+            self._compiled = [self._compile_insn(i) for i in program.instructions]
+
+    # ------------------------------------------------------------------
+    # Memory access (also used by helper implementations)
+    # ------------------------------------------------------------------
+
+    def mem_read(self, ptr: Any, length: int) -> bytes:
+        if not isinstance(ptr, Pointer):
+            raise VmFault(f"read through non-pointer {ptr!r}")
+        region = ptr.region
+        if not region.readable:
+            raise VmFault(f"region {region.name!r} is not readable")
+        if ptr.offset < 0 or ptr.offset + length > len(region.data):
+            raise VmFault(
+                f"read [{ptr.offset}, {ptr.offset + length}) out of bounds of "
+                f"{region.name!r} ({len(region.data)}B)"
+            )
+        return bytes(region.data[ptr.offset : ptr.offset + length])
+
+    def mem_write(self, ptr: Any, data: bytes) -> None:
+        if not isinstance(ptr, Pointer):
+            raise VmFault(f"write through non-pointer {ptr!r}")
+        region = ptr.region
+        if not region.writable:
+            raise VmFault(f"region {region.name!r} is not writable")
+        if ptr.offset < 0 or ptr.offset + len(data) > len(region.data):
+            raise VmFault(
+                f"write [{ptr.offset}, {ptr.offset + len(data)}) out of bounds "
+                f"of {region.name!r} ({len(region.data)}B)"
+            )
+        region.data[ptr.offset : ptr.offset + len(data)] = data
+
+    def map_value_pointer(self, map_id: int, value: bytearray) -> Pointer:
+        """Wrap a live map value buffer as a pointer (helper support)."""
+        bpf_map = self.env.map(map_id)
+        return Pointer(Region(f"map_value:{bpf_map.name}", value), 0)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self, ctx: bytearray,
+            regions: Optional[Dict[str, bytearray]] = None) -> ExecutionResult:
+        """Execute the program over context bytes ``ctx``.
+
+        ``regions`` supplies backing storage for every pointer-kind ctx field
+        (keyed by the field's region name).  Output fields written by the
+        program land in ``ctx`` in place.
+        """
+        layout = self.program.ctx_layout
+        if len(ctx) < layout.size:
+            raise VmFault(
+                f"ctx too small: {len(ctx)} < layout size {layout.size}"
+            )
+        regions = regions or {}
+        region_objs: Dict[str, Region] = {}
+        for ctx_field in layout.fields:
+            if ctx_field.kind is FieldKind.POINTER:
+                if ctx_field.region not in regions:
+                    raise VmFault(f"missing region {ctx_field.region!r}")
+                backing = regions[ctx_field.region]
+                if len(backing) != ctx_field.region_size:
+                    raise VmFault(
+                        f"region {ctx_field.region!r} is {len(backing)}B, "
+                        f"layout declares {ctx_field.region_size}B"
+                    )
+                region_objs[ctx_field.region] = Region(
+                    ctx_field.region, backing, writable=ctx_field.writable
+                )
+
+        state = _RunState(self, ctx, region_objs)
+        self.trace_log = state.trace_log
+        if self.mode == "jit":
+            return self._run_compiled(state)
+        return self._run_interp(state)
+
+    # -- interpreter ----------------------------------------------------
+
+    def _run_interp(self, state: "_RunState") -> ExecutionResult:
+        insns = self.program.instructions
+        pc = 0
+        while True:
+            if state.executed >= self.max_instructions:
+                raise VmFault("instruction budget exhausted", pc)
+            if not 0 <= pc < len(insns):
+                raise VmFault(f"pc {pc} out of program", pc)
+            state.executed += 1
+            insn = insns[pc]
+            next_pc = _step(state, insn, pc)
+            if next_pc is None:
+                break
+            pc = next_pc
+        return state.result()
+
+    # -- compiled mode ----------------------------------------------------
+
+    def _compile_insn(self, insn):
+        """Pre-bind one instruction to a closure ``fn(state, pc) -> next_pc``."""
+        return _compile(insn)
+
+    def _run_compiled(self, state: "_RunState") -> ExecutionResult:
+        compiled = self._compiled
+        pc = 0
+        limit = self.max_instructions
+        while True:
+            if state.executed >= limit:
+                raise VmFault("instruction budget exhausted", pc)
+            if not 0 <= pc < len(compiled):
+                raise VmFault(f"pc {pc} out of program", pc)
+            state.executed += 1
+            next_pc = compiled[pc](state, pc)
+            if next_pc is None:
+                break
+            pc = next_pc
+        return state.result()
+
+
+class _RunState:
+    """Per-run mutable state: registers, stack, ctx, spilled pointers."""
+
+    __slots__ = (
+        "vm", "regs", "ctx", "ctx_region", "stack", "stack_region",
+        "stack_ptr_slots", "regions", "executed", "trace_log", "helper_calls",
+    )
+
+    def __init__(self, vm: Vm, ctx: bytearray, regions: Dict[str, Region]):
+        self.vm = vm
+        self.ctx = ctx
+        self.ctx_region = Region("ctx", ctx, writable=True)
+        self.stack = bytearray(STACK_SIZE)
+        self.stack_region = Region("stack", self.stack)
+        self.stack_ptr_slots: Dict[int, Pointer] = {}
+        self.regions = regions
+        self.executed = 0
+        self.trace_log: List[int] = []
+        self.helper_calls = 0
+        self.regs: List[Any] = [0] * 11
+        self.regs[1] = Pointer(self.ctx_region, 0)
+        self.regs[FP_REG] = Pointer(self.stack_region, STACK_SIZE)
+
+    def result(self) -> ExecutionResult:
+        r0 = self.regs[0]
+        if isinstance(r0, Pointer):
+            raise VmFault("program returned a pointer in r0")
+        return ExecutionResult(
+            return_value=r0 & U64,
+            instructions=self.executed,
+            trace_log=self.trace_log,
+            helper_calls=self.helper_calls,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared single-step semantics
+# ---------------------------------------------------------------------------
+
+_ALU_FN = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "or": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+    "xor": lambda a, b: a ^ b,
+}
+
+_JMP_FN = {
+    "jeq": lambda a, b: a == b,
+    "jne": lambda a, b: a != b,
+    "jgt": lambda a, b: a > b,
+    "jge": lambda a, b: a >= b,
+    "jlt": lambda a, b: a < b,
+    "jle": lambda a, b: a <= b,
+    "jset": lambda a, b: (a & b) != 0,
+    "jsgt": lambda a, b: _s64(a) > _s64(b),
+    "jsge": lambda a, b: _s64(a) >= _s64(b),
+    "jslt": lambda a, b: _s64(a) < _s64(b),
+    "jsle": lambda a, b: _s64(a) <= _s64(b),
+}
+
+
+def _as_scalar(value: Any, what: str, pc: int) -> int:
+    if isinstance(value, Pointer):
+        raise VmFault(f"{what} is a pointer, expected scalar", pc)
+    return value
+
+
+def _load(state: _RunState, base: Any, offset: int, size: int, pc: int) -> Any:
+    if not isinstance(base, Pointer):
+        raise VmFault(f"load through non-pointer {base!r}", pc)
+    region = base.region
+    addr = base.offset + offset
+    # Context loads may materialise pointers per the layout.
+    if region is state.ctx_region:
+        layout = state.vm.program.ctx_layout
+        try:
+            ctx_field = layout.field_at(addr, size)
+        except KeyError:
+            raise VmFault(f"ctx load at ({addr}, {size}) hits no field", pc)
+        if ctx_field.kind is FieldKind.POINTER:
+            target = state.regions.get(ctx_field.region)
+            if target is None:
+                raise VmFault(f"region {ctx_field.region!r} unavailable", pc)
+            return Pointer(target, 0)
+        raw = state.ctx[addr : addr + size]
+        return int.from_bytes(raw, "little")
+    # Stack loads may restore a spilled pointer.
+    if region is state.stack_region and size == 8:
+        spilled = state.stack_ptr_slots.get(addr)
+        if spilled is not None:
+            return spilled
+    data = state.vm.mem_read(Pointer(region, addr), size)
+    return int.from_bytes(data, "little")
+
+
+def _store(state: _RunState, base: Any, offset: int, size: int, value: Any,
+           pc: int) -> None:
+    if not isinstance(base, Pointer):
+        raise VmFault(f"store through non-pointer {base!r}", pc)
+    region = base.region
+    addr = base.offset + offset
+    if region is state.ctx_region:
+        layout = state.vm.program.ctx_layout
+        try:
+            ctx_field = layout.field_at(addr, size)
+        except KeyError:
+            raise VmFault(f"ctx store at ({addr}, {size}) hits no field", pc)
+        if not ctx_field.writable or ctx_field.kind is not FieldKind.SCALAR:
+            raise VmFault(f"ctx field {ctx_field.name!r} is not writable", pc)
+        scalar = _as_scalar(value, "ctx store value", pc)
+        state.ctx[addr : addr + size] = (scalar & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+        return
+    if isinstance(value, Pointer):
+        # Pointer spill: only full 8-byte aligned stack slots.
+        if region is not state.stack_region or size != 8 or addr % 8 != 0:
+            raise VmFault("pointer may only be spilled to aligned stack slot", pc)
+        if addr < 0 or addr + 8 > STACK_SIZE:
+            raise VmFault("stack spill out of bounds", pc)
+        state.stack_ptr_slots[addr] = value
+        state.stack[addr : addr + 8] = b"\xff" * 8  # poison raw view
+        return
+    if region is state.stack_region:
+        # A scalar store over a spilled pointer invalidates the spill.
+        for slot in list(state.stack_ptr_slots):
+            if slot < addr + size and addr < slot + 8:
+                del state.stack_ptr_slots[slot]
+    scalar = _as_scalar(value, "store value", pc)
+    state.vm.mem_write(
+        Pointer(region, addr),
+        (scalar & ((1 << (8 * size)) - 1)).to_bytes(size, "little"),
+    )
+
+
+def _alu(state: _RunState, op: str, is32: bool, dst_val: Any, src_val: Any,
+         pc: int) -> Any:
+    # Pointer arithmetic first.
+    if op == "mov":
+        return src_val if not is32 else (_as_scalar(src_val, "mov32", pc) & U32)
+    if isinstance(dst_val, Pointer) or isinstance(src_val, Pointer):
+        if is32:
+            raise VmFault("32-bit ALU on pointer", pc)
+        if op == "add":
+            if isinstance(dst_val, Pointer) and isinstance(src_val, Pointer):
+                raise VmFault("pointer + pointer", pc)
+            if isinstance(dst_val, Pointer):
+                return dst_val.moved(_s64(_as_scalar(src_val, "addend", pc)))
+            return src_val.moved(_s64(_as_scalar(dst_val, "addend", pc)))
+        if op == "sub":
+            if isinstance(dst_val, Pointer) and isinstance(src_val, Pointer):
+                if dst_val.region is not src_val.region:
+                    raise VmFault("pointer difference across regions", pc)
+                return (dst_val.offset - src_val.offset) & U64
+            if isinstance(dst_val, Pointer):
+                return dst_val.moved(-_s64(_as_scalar(src_val, "subtrahend", pc)))
+        raise VmFault(f"ALU op {op!r} on pointer", pc)
+    a = dst_val
+    b = src_val
+    if is32:
+        a &= U32
+        b &= U32
+    if op in _ALU_FN:
+        result = _ALU_FN[op](a, b)
+    elif op == "lsh":
+        result = a << (b & (31 if is32 else 63))
+    elif op == "rsh":
+        result = a >> (b & (31 if is32 else 63))
+    elif op == "div":
+        result = 0 if b == 0 else a // b
+    elif op == "mod":
+        result = a if b == 0 else a % b
+    elif op == "arsh":
+        shift = b & (31 if is32 else 63)
+        signed = _s32(a) if is32 else _s64(a)
+        result = signed >> shift
+    elif op == "neg":
+        result = -a
+    else:
+        raise VmFault(f"unknown ALU op {op!r}", pc)
+    return (result & U32) if is32 else (result & U64)
+
+
+def _jump_compare(op: str, a: Any, b: Any, pc: int) -> bool:
+    a_ptr = isinstance(a, Pointer)
+    b_ptr = isinstance(b, Pointer)
+    if a_ptr or b_ptr:
+        if op not in ("jeq", "jne"):
+            raise VmFault(f"ordered comparison {op!r} on pointer", pc)
+        if a_ptr and b_ptr:
+            same = a.region is b.region and a.offset == b.offset
+        else:
+            # Pointer vs scalar: a live pointer never equals NULL (or any
+            # scalar) — the interesting case is the post-map-lookup null
+            # check, where NULL is the plain integer 0 and takes the other
+            # branch.
+            same = False
+        return same if op == "jeq" else not same
+    return _JMP_FN[op](a & U64, b & U64)
+
+
+def _call_helper(state: _RunState, helper_id: int, pc: int) -> None:
+    vm = state.vm
+    spec = vm.env.helpers.spec(helper_id)
+    impl = vm.env.helpers.impl(helper_id)
+    args = []
+    for index, kind in enumerate(spec.args):
+        value = state.regs[1 + index]
+        if kind in (ArgKind.SCALAR, ArgKind.CONST, ArgKind.MAP_ID, ArgKind.SIZE):
+            args.append(_as_scalar(value, f"helper arg {index + 1}", pc) & U64)
+        else:
+            if not isinstance(value, Pointer):
+                raise VmFault(
+                    f"helper {spec.name!r} arg {index + 1} expects pointer", pc
+                )
+            args.append(value)
+    state.helper_calls += 1
+    result = impl(vm, *args)
+    # Clobber caller-saved registers like the kernel ABI.
+    for reg in range(1, 6):
+        state.regs[reg] = 0
+    if spec.ret is RetKind.VOID:
+        state.regs[0] = 0
+    elif spec.ret is RetKind.MAP_VALUE_OR_NULL:
+        state.regs[0] = result if isinstance(result, Pointer) else 0
+    else:
+        state.regs[0] = _as_scalar(result, "helper return", pc) & U64
+
+
+def _step(state: _RunState, insn, pc: int) -> Optional[int]:
+    """Execute one instruction; returns next pc or None on exit."""
+    op = insn.opcode
+    regs = state.regs
+
+    if op == "exit":
+        return None
+    if op == "call":
+        _call_helper(state, insn.imm, pc)
+        return pc + 1
+    if op == "ja":
+        return pc + 1 + insn.offset
+    if op == "lddw":
+        regs[insn.dst] = insn.imm & U64
+        return pc + 1
+
+    base = op[:-2] if op.endswith("32") else op
+    if base in ("add", "sub", "mul", "div", "mod", "or", "and", "xor", "lsh",
+                "rsh", "arsh", "mov", "neg"):
+        if insn.dst == FP_REG:
+            raise VmFault("write to frame pointer r10", pc)
+        if base == "neg":
+            regs[insn.dst] = _alu(state, "neg", op.endswith("32"),
+                                  regs[insn.dst], 0, pc)
+            return pc + 1
+        src_val = regs[insn.src] if insn.src_is_reg else insn.imm & U64
+        regs[insn.dst] = _alu(state, base, op.endswith("32"), regs[insn.dst],
+                              src_val, pc)
+        return pc + 1
+
+    if op in _JMP_FN:
+        a = regs[insn.dst]
+        b = regs[insn.src] if insn.src_is_reg else insn.imm & U64
+        if _jump_compare(op, a, b, pc):
+            return pc + 1 + insn.offset
+        return pc + 1
+
+    if op.startswith("ldx"):
+        size = MEM_SIZES[op[3:]]
+        regs[insn.dst] = _load(state, regs[insn.src], insn.offset, size, pc)
+        return pc + 1
+    if op.startswith("stx"):
+        size = MEM_SIZES[op[3:]]
+        _store(state, regs[insn.dst], insn.offset, size, regs[insn.src], pc)
+        return pc + 1
+    if op.startswith("st"):
+        size = MEM_SIZES[op[2:]]
+        _store(state, regs[insn.dst], insn.offset, size, insn.imm & U64, pc)
+        return pc + 1
+
+    raise VmFault(f"unknown opcode {op!r}", pc)
+
+
+def _compile(insn) -> Callable[[_RunState, int], Optional[int]]:
+    """Pre-decode one instruction into a closure (the "JIT")."""
+    op = insn.opcode
+
+    if op == "exit":
+        return lambda state, pc: None
+    if op == "call":
+        helper_id = insn.imm
+
+        def do_call(state, pc):
+            _call_helper(state, helper_id, pc)
+            return pc + 1
+
+        return do_call
+    if op == "ja":
+        delta = insn.offset + 1
+        return lambda state, pc: pc + delta
+    if op == "lddw":
+        value = insn.imm & U64
+        dst = insn.dst
+
+        def do_lddw(state, pc):
+            state.regs[dst] = value
+            return pc + 1
+
+        return do_lddw
+
+    base = op[:-2] if op.endswith("32") else op
+    is32 = op.endswith("32")
+
+    if base in ("add", "sub", "mul", "div", "mod", "or", "and", "xor", "lsh",
+                "rsh", "arsh", "mov", "neg"):
+        dst = insn.dst
+        if dst == FP_REG:
+            def bad_fp(state, pc):
+                raise VmFault("write to frame pointer r10", pc)
+            return bad_fp
+        if base == "neg":
+            def do_neg(state, pc):
+                state.regs[dst] = _alu(state, "neg", is32, state.regs[dst], 0, pc)
+                return pc + 1
+            return do_neg
+        if insn.src_is_reg:
+            src = insn.src
+
+            def do_alu_reg(state, pc):
+                state.regs[dst] = _alu(
+                    state, base, is32, state.regs[dst], state.regs[src], pc
+                )
+                return pc + 1
+
+            return do_alu_reg
+        imm = insn.imm & U64
+
+        def do_alu_imm(state, pc):
+            state.regs[dst] = _alu(state, base, is32, state.regs[dst], imm, pc)
+            return pc + 1
+
+        return do_alu_imm
+
+    if op in _JMP_FN:
+        dst = insn.dst
+        delta = insn.offset + 1
+        if insn.src_is_reg:
+            src = insn.src
+
+            def do_jmp_reg(state, pc):
+                if _jump_compare(op, state.regs[dst], state.regs[src], pc):
+                    return pc + delta
+                return pc + 1
+
+            return do_jmp_reg
+        imm = insn.imm & U64
+
+        def do_jmp_imm(state, pc):
+            if _jump_compare(op, state.regs[dst], imm, pc):
+                return pc + delta
+            return pc + 1
+
+        return do_jmp_imm
+
+    if op.startswith("ldx"):
+        size = MEM_SIZES[op[3:]]
+        dst, src, offset = insn.dst, insn.src, insn.offset
+
+        def do_ldx(state, pc):
+            state.regs[dst] = _load(state, state.regs[src], offset, size, pc)
+            return pc + 1
+
+        return do_ldx
+    if op.startswith("stx"):
+        size = MEM_SIZES[op[3:]]
+        dst, src, offset = insn.dst, insn.src, insn.offset
+
+        def do_stx(state, pc):
+            _store(state, state.regs[dst], offset, size, state.regs[src], pc)
+            return pc + 1
+
+        return do_stx
+    if op.startswith("st"):
+        size = MEM_SIZES[op[2:]]
+        dst, offset, imm = insn.dst, insn.offset, insn.imm & U64
+
+        def do_st(state, pc):
+            _store(state, state.regs[dst], offset, size, imm, pc)
+            return pc + 1
+
+        return do_st
+
+    raise VmFault(f"cannot compile opcode {op!r}")

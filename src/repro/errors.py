@@ -1,0 +1,138 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching programming mistakes.  Kernel-path
+errors additionally carry an ``errno``-style code mirroring the constants a
+real kernel would return (the paper's design returns errors such as the
+extent-invalidation error to the application, which must re-run the ioctl).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation engine errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """A misuse of the discrete-event simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+# ---------------------------------------------------------------------------
+# eBPF subsystem errors
+# ---------------------------------------------------------------------------
+
+
+class BpfError(ReproError):
+    """Base class for eBPF assembler/verifier/VM errors."""
+
+
+class AssemblerError(BpfError):
+    """The textual assembly could not be parsed or encoded."""
+
+
+class VerifierError(BpfError):
+    """The static verifier rejected a program.
+
+    Mirrors the kernel's behaviour of refusing to load an unsafe program;
+    carries a human-readable reason referencing the offending instruction.
+    """
+
+    def __init__(self, reason: str, pc: int = -1):
+        self.reason = reason
+        self.pc = pc
+        location = f" at insn {pc}" if pc >= 0 else ""
+        super().__init__(f"verifier rejected program{location}: {reason}")
+
+
+class VmFault(BpfError):
+    """The VM trapped at run time (out-of-bounds access, bad helper, ...).
+
+    A verified program should never raise this; the fault check is defence in
+    depth, exactly like the kernel keeping runtime bounds checks for helper
+    arguments.
+    """
+
+    def __init__(self, reason: str, pc: int = -1):
+        self.reason = reason
+        self.pc = pc
+        location = f" at insn {pc}" if pc >= 0 else ""
+        super().__init__(f"VM fault{location}: {reason}")
+
+
+# ---------------------------------------------------------------------------
+# Storage / kernel errors (errno-style)
+# ---------------------------------------------------------------------------
+
+
+class KernelError(ReproError):
+    """An error returned by the simulated kernel, with an errno-like code."""
+
+    errno_name = "EIO"
+
+    def __init__(self, message: str = ""):
+        detail = f": {message}" if message else ""
+        super().__init__(f"[{self.errno_name}]{detail}")
+
+
+class BadFileDescriptor(KernelError):
+    errno_name = "EBADF"
+
+
+class FileNotFound(KernelError):
+    errno_name = "ENOENT"
+
+
+class FileExists(KernelError):
+    errno_name = "EEXIST"
+
+
+class NotADirectory(KernelError):
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(KernelError):
+    errno_name = "EISDIR"
+
+
+class NoSpace(KernelError):
+    errno_name = "ENOSPC"
+
+
+class InvalidArgument(KernelError):
+    errno_name = "EINVAL"
+
+
+class IoError(KernelError):
+    errno_name = "EIO"
+
+
+class ExtentInvalidated(KernelError):
+    """The NVMe-layer extent cache was invalidated mid-chain (paper §4).
+
+    The application must re-run the install ioctl to refresh the soft-state
+    extent cache before reissuing tagged I/Os.
+    """
+
+    errno_name = "EEXTENT"
+
+
+class ChainLimitExceeded(KernelError):
+    """The per-process chained-resubmission counter hit its bound (paper §4)."""
+
+    errno_name = "ECHAINLIM"
+
+
+class NotInstalled(KernelError):
+    """A tagged I/O was issued on a descriptor without an installed program."""
+
+    errno_name = "ENOPROG"

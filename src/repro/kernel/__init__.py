@@ -1,0 +1,31 @@
+"""The simulated Linux storage stack.
+
+Layer costs come from the paper's Table 1; the layers themselves really move
+bytes: the extent file system maps file offsets to physical blocks, the BIO
+layer splits I/Os across discontiguous extents, and the NVMe driver talks to
+the device model and handles completion interrupts.  Hook points for the
+paper's BPF-for-storage mechanism (`nvme_completion_hook`,
+`syscall_read_hook`, ioctl handlers) are declared here and filled in by
+:mod:`repro.core`, keeping the kernel ignorant of BPF exactly as the layering
+in the paper prescribes.
+"""
+
+from repro.kernel.extent import Extent, ExtentTree
+from repro.kernel.extfs import ExtFs
+from repro.kernel.iouring import IoUring
+from repro.kernel.kernel import Kernel, KernelConfig, ReadResult
+from repro.kernel.layers import CostModel
+from repro.kernel.process import File, Process
+
+__all__ = [
+    "CostModel",
+    "Extent",
+    "ExtentTree",
+    "ExtFs",
+    "File",
+    "IoUring",
+    "Kernel",
+    "KernelConfig",
+    "Process",
+    "ReadResult",
+]

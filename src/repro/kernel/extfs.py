@@ -1,0 +1,387 @@
+"""An extent-based file system (the simulated ext4).
+
+Provides the pieces of ext4 the paper's design interacts with:
+
+* hierarchical namespace (create/mkdir/lookup/unlink/rename);
+* per-inode extent trees mapping 4 KiB file blocks to physical blocks;
+* a block allocator with controllable fragmentation, so experiments can
+  force the multi-extent files that trigger the BIO split fallback;
+* extent-change notifications — the file-system hook of §4 that drives
+  NVMe-layer extent-cache invalidation.  Growing a file (pure allocation)
+  reports ``"grow"``; unmapping or moving blocks reports ``"unmap"``, and
+  only the latter must invalidate.
+
+Metadata lives in memory (the experiments never measure metadata I/O);
+file *data* lives on the backing :class:`~repro.device.blockdev.BlockDevice`.
+``read_sync``/``write_sync`` move data without simulated time for test and
+workload setup; timed data paths go through the kernel's BIO/NVMe layers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.device.blockdev import SECTOR_SIZE, BlockDevice
+from repro.errors import (
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NoSpace,
+    NotADirectory,
+)
+from repro.kernel.extent import Extent, ExtentTree
+
+__all__ = ["BLOCK_SIZE", "ExtFs", "Inode", "SECTORS_PER_BLOCK"]
+
+BLOCK_SIZE = 4096
+SECTORS_PER_BLOCK = BLOCK_SIZE // SECTOR_SIZE
+
+
+class Inode:
+    """One file or directory."""
+
+    def __init__(self, number: int, is_dir: bool):
+        self.number = number
+        self.is_dir = is_dir
+        self.size = 0
+        self.extents = ExtentTree()
+        self.entries: Dict[str, "Inode"] = {} if is_dir else None
+
+    def __repr__(self) -> str:
+        kind = "dir" if self.is_dir else "file"
+        return f"Inode({self.number}, {kind}, {self.size}B)"
+
+
+class _Allocator:
+    """Free-space manager over whole file-system blocks."""
+
+    def __init__(self, total_blocks: int, reserved: int = 1):
+        if total_blocks <= reserved:
+            raise InvalidArgument("device too small for a file system")
+        # Sorted list of (start, count) free runs.
+        self._free: List[Tuple[int, int]] = [(reserved, total_blocks - reserved)]
+        self.total_blocks = total_blocks
+
+    def free_blocks(self) -> int:
+        return sum(count for _start, count in self._free)
+
+    def allocate(self, blocks: int, max_run: int,
+                 rng: Optional[random.Random]) -> List[Tuple[int, int]]:
+        """Take ``blocks`` blocks as one or more runs of at most ``max_run``.
+
+        When ``max_run`` truncates a run, a one-block guard gap is skipped
+        before the next piece so the resulting extents are genuinely
+        discontiguous — the deterministic fragmentation knob that forces the
+        BIO layer's multi-extent split path in experiments.
+        """
+        if blocks < 1:
+            raise InvalidArgument("allocation must be >= 1 block")
+        if blocks > self.free_blocks():
+            raise NoSpace(f"need {blocks} blocks, "
+                          f"{self.free_blocks()} free")
+        pieces: List[Tuple[int, int]] = []
+        need = blocks
+        while need > 0:
+            index = 0
+            if rng is not None and len(self._free) > 1:
+                index = rng.randrange(len(self._free))
+            start, count = self._free[index]
+            take = min(need, count, max_run)
+            pieces.append((start, take))
+            consumed = take
+            if take < need and take == max_run and count > take:
+                consumed = min(count, take + 1)  # guard gap
+            if consumed == count:
+                self._free.pop(index)
+            else:
+                self._free[index] = (start + consumed, count - consumed)
+            need -= take
+        return pieces
+
+    def release(self, start: int, count: int) -> None:
+        """Return a run to the free list, coalescing neighbours."""
+        runs = self._free + [(start, count)]
+        runs.sort()
+        merged: List[Tuple[int, int]] = []
+        for run_start, run_count in runs:
+            if merged and merged[-1][0] + merged[-1][1] >= run_start:
+                prev_start, prev_count = merged[-1]
+                if prev_start + prev_count > run_start:
+                    raise InvalidArgument("double free of blocks")
+                merged[-1] = (prev_start, prev_count + run_count)
+            else:
+                merged.append((run_start, run_count))
+        self._free = merged
+
+
+class ExtFs:
+    """The file system: namespace + extents + allocator + media access."""
+
+    def __init__(self, media: BlockDevice,
+                 max_extent_blocks: int = 32768,
+                 scatter_rng: Optional[random.Random] = None):
+        self.media = media
+        self.total_blocks = media.capacity_sectors // SECTORS_PER_BLOCK
+        self._allocator = _Allocator(self.total_blocks)
+        self.max_extent_blocks = max_extent_blocks
+        self.scatter_rng = scatter_rng
+        self._next_ino = 2
+        self.root = Inode(1, is_dir=True)
+        #: Subscribers notified as ``fn(inode, kind)`` with kind in
+        #: {"grow", "unmap"} on every extent mutation.
+        self.extent_change_listeners: List[Callable[[Inode, str], None]] = []
+
+    # ------------------------------------------------------------------
+    # Namespace
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _split(path: str) -> List[str]:
+        if not path.startswith("/"):
+            raise InvalidArgument(f"path must be absolute: {path!r}")
+        return [part for part in path.split("/") if part]
+
+    def _walk(self, parts: List[str]) -> Inode:
+        node = self.root
+        for part in parts:
+            if not node.is_dir:
+                raise NotADirectory("/".join(parts))
+            if part not in node.entries:
+                raise FileNotFound("/".join(parts))
+            node = node.entries[part]
+        return node
+
+    def lookup(self, path: str) -> Inode:
+        return self._walk(self._split(path))
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.lookup(path)
+            return True
+        except (FileNotFound, NotADirectory):
+            return False
+
+    def _parent_and_name(self, path: str) -> Tuple[Inode, str]:
+        parts = self._split(path)
+        if not parts:
+            raise InvalidArgument("path refers to the root")
+        parent = self._walk(parts[:-1])
+        if not parent.is_dir:
+            raise NotADirectory(path)
+        return parent, parts[-1]
+
+    def _new_inode(self, is_dir: bool) -> Inode:
+        inode = Inode(self._next_ino, is_dir)
+        self._next_ino += 1
+        return inode
+
+    def create(self, path: str) -> Inode:
+        parent, name = self._parent_and_name(path)
+        if name in parent.entries:
+            raise FileExists(path)
+        inode = self._new_inode(is_dir=False)
+        parent.entries[name] = inode
+        return inode
+
+    def mkdir(self, path: str) -> Inode:
+        parent, name = self._parent_and_name(path)
+        if name in parent.entries:
+            raise FileExists(path)
+        inode = self._new_inode(is_dir=True)
+        parent.entries[name] = inode
+        return inode
+
+    def unlink(self, path: str) -> None:
+        parent, name = self._parent_and_name(path)
+        if name not in parent.entries:
+            raise FileNotFound(path)
+        inode = parent.entries[name]
+        if inode.is_dir:
+            raise IsADirectory(path)
+        del parent.entries[name]
+        self._free_all_extents(inode)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        """Atomic namespace swap; replaces an existing plain file at the
+        destination (the classic write-new-then-rename pattern)."""
+        old_parent, old_name = self._parent_and_name(old_path)
+        if old_name not in old_parent.entries:
+            raise FileNotFound(old_path)
+        inode = old_parent.entries[old_name]
+        new_parent, new_name = self._parent_and_name(new_path)
+        displaced = new_parent.entries.get(new_name)
+        if displaced is not None and displaced.is_dir:
+            raise IsADirectory(new_path)
+        del old_parent.entries[old_name]
+        new_parent.entries[new_name] = inode
+        if displaced is not None:
+            self._free_all_extents(displaced)
+
+    def listdir(self, path: str) -> List[str]:
+        inode = self.lookup(path)
+        if not inode.is_dir:
+            raise NotADirectory(path)
+        return sorted(inode.entries)
+
+    # ------------------------------------------------------------------
+    # Extents and allocation
+    # ------------------------------------------------------------------
+
+    def _notify(self, inode: Inode, kind: str) -> None:
+        for listener in self.extent_change_listeners:
+            listener(inode, kind)
+
+    def ensure_allocated(self, inode: Inode, offset: int, length: int) -> bool:
+        """Allocate blocks so ``[offset, offset+length)`` is fully mapped.
+
+        Returns True if any new extent was added (a "grow" change).
+        """
+        if inode.is_dir:
+            raise IsADirectory(f"inode {inode.number}")
+        if length <= 0:
+            raise InvalidArgument("length must be positive")
+        first = offset // BLOCK_SIZE
+        last = (offset + length - 1) // BLOCK_SIZE
+        changed = False
+        block = first
+        while block <= last:
+            if inode.extents.lookup(block) is not None:
+                block += 1
+                continue
+            # Find the hole's end within our range to allocate in one go.
+            hole_end = block
+            while hole_end <= last and \
+                    inode.extents.lookup(hole_end) is None:
+                hole_end += 1
+            need = hole_end - block
+            pieces = self._allocator.allocate(
+                need, self.max_extent_blocks, self.scatter_rng)
+            file_block = block
+            for start, count in pieces:
+                inode.extents.add(Extent(file_block, start, count))
+                file_block += count
+            changed = True
+            block = hole_end
+        if changed:
+            self._notify(inode, "grow")
+        return changed
+
+    def punch_range(self, inode: Inode, offset: int, length: int) -> None:
+        """Unmap and free ``[offset, offset+length)`` (block aligned)."""
+        if offset % BLOCK_SIZE or length % BLOCK_SIZE:
+            raise InvalidArgument("punch must be block aligned")
+        punched = inode.extents.punch(offset // BLOCK_SIZE,
+                                      length // BLOCK_SIZE)
+        for extent in punched:
+            self._allocator.release(extent.phys_block, extent.count)
+            self.media.discard(extent.phys_block * SECTORS_PER_BLOCK,
+                               extent.count * SECTORS_PER_BLOCK)
+        if punched:
+            self._notify(inode, "unmap")
+
+    def truncate(self, inode: Inode, new_size: int) -> None:
+        if new_size < 0:
+            raise InvalidArgument("negative size")
+        old_blocks = (inode.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        new_blocks = (new_size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        if new_blocks < old_blocks:
+            self.punch_range(inode, new_blocks * BLOCK_SIZE,
+                             (old_blocks - new_blocks) * BLOCK_SIZE)
+        inode.size = new_size
+
+    def _free_all_extents(self, inode: Inode) -> None:
+        had_blocks = len(inode.extents) > 0
+        for extent in inode.extents.extents():
+            inode.extents.punch(extent.file_block, extent.count)
+            self._allocator.release(extent.phys_block, extent.count)
+            self.media.discard(extent.phys_block * SECTORS_PER_BLOCK,
+                               extent.count * SECTORS_PER_BLOCK)
+        inode.size = 0
+        if had_blocks:
+            self._notify(inode, "unmap")
+
+    def map_range(self, inode: Inode, offset: int, length: int
+                  ) -> List[Tuple[int, int]]:
+        """Translate a byte range to ``(lba, sectors)`` segments.
+
+        Requires sector alignment (O_DIRECT semantics).  More than one
+        segment means the BIO layer must split.
+        """
+        if offset % SECTOR_SIZE or length % SECTOR_SIZE or length <= 0:
+            raise InvalidArgument(
+                f"O_DIRECT range must be 512-aligned: ({offset}, {length})"
+            )
+        segments: List[Tuple[int, int]] = []
+        position = offset
+        end = offset + length
+        while position < end:
+            block = position // BLOCK_SIZE
+            phys = inode.extents.lookup(block)
+            if phys is None:
+                raise InvalidArgument(f"read of unmapped block {block}")
+            within = position % BLOCK_SIZE
+            take = min(end - position, BLOCK_SIZE - within)
+            lba = phys * SECTORS_PER_BLOCK + within // SECTOR_SIZE
+            sectors = take // SECTOR_SIZE
+            if segments and segments[-1][0] + segments[-1][1] == lba:
+                segments[-1] = (segments[-1][0], segments[-1][1] + sectors)
+            else:
+                segments.append((lba, sectors))
+            position += take
+        return segments
+
+    def fragmentation_of(self, inode: Inode) -> int:
+        """Number of extents backing the inode (1 = fully contiguous)."""
+        return len(inode.extents)
+
+    # ------------------------------------------------------------------
+    # Untimed media access (setup/verification paths)
+    # ------------------------------------------------------------------
+
+    def write_sync(self, inode: Inode, offset: int, data: bytes) -> None:
+        """Allocate and write immediately, without simulated time."""
+        if not data:
+            return
+        self.ensure_allocated(inode, offset, len(data))
+        position = offset
+        remaining = memoryview(bytes(data))
+        while remaining:
+            block = position // BLOCK_SIZE
+            within = position % BLOCK_SIZE
+            take = min(len(remaining), BLOCK_SIZE - within)
+            phys = inode.extents.lookup(block)
+            lba = phys * SECTORS_PER_BLOCK
+            if within % SECTOR_SIZE == 0 and take % SECTOR_SIZE == 0:
+                self.media.write(lba + within // SECTOR_SIZE,
+                                 bytes(remaining[:take]))
+            else:
+                # Read-modify-write the containing block.
+                existing = bytearray(self.media.read(lba, SECTORS_PER_BLOCK))
+                existing[within : within + take] = bytes(remaining[:take])
+                self.media.write(lba, bytes(existing))
+            remaining = remaining[take:]
+            position += take
+        inode.size = max(inode.size, offset + len(data))
+
+    def read_sync(self, inode: Inode, offset: int, length: int) -> bytes:
+        """Read immediately, without simulated time."""
+        if length <= 0:
+            raise InvalidArgument("length must be positive")
+        out = bytearray()
+        position = offset
+        end = offset + length
+        while position < end:
+            block = position // BLOCK_SIZE
+            within = position % BLOCK_SIZE
+            take = min(end - position, BLOCK_SIZE - within)
+            phys = inode.extents.lookup(block)
+            if phys is None:
+                out += bytes(take)
+            else:
+                chunk = self.media.read(phys * SECTORS_PER_BLOCK,
+                                        SECTORS_PER_BLOCK)
+                out += chunk[within : within + take]
+            position += take
+        return bytes(out)

@@ -1,0 +1,180 @@
+"""io_uring: batched asynchronous submission/completion rings.
+
+Models the essentials the paper leans on in Figure 3d: one
+``io_uring_enter`` call submits a batch of SQEs, paying the user/kernel
+crossing once, but **every** submitted I/O still walks the file system, BIO,
+and driver layers (this is the paper's point — io_uring amortises crossings,
+not the stack).  Completions arrive over interrupts into the CQ; the
+reaping thread blocks until ``wait_nr`` CQEs are available.
+
+Tagged SQEs (BPF chains) are dispatched through the chain submitter that
+:mod:`repro.core` installs; their CQE is posted only when the chain finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.device import NvmeCommand
+from repro.errors import InvalidArgument, IoError
+from repro.kernel.kernel import IoCookie, Kernel, ReadResult
+from repro.kernel.process import Process
+
+__all__ = ["Cqe", "IoUring", "Sqe"]
+
+
+@dataclass
+class Sqe:
+    """One submission-queue entry (reads only; that is all the paper uses).
+
+    ``args`` and ``scratch_init`` parameterise a tagged BPF chain per
+    submission (e.g. the lookup key), mirroring XRP's per-call context.
+    """
+
+    fd: int
+    offset: int
+    length: int
+    user_data: Any = None
+    tagged: bool = False
+    args: tuple = ()
+    scratch_init: bytes = b""
+
+
+@dataclass
+class Cqe:
+    """One completion-queue entry."""
+
+    user_data: Any
+    result: ReadResult
+
+
+class IoUring:
+    """A per-process ring pair bound to one kernel."""
+
+    def __init__(self, kernel: Kernel, proc: Process, queue_depth: int = 256):
+        if queue_depth < 1:
+            raise InvalidArgument("queue depth must be >= 1")
+        self.kernel = kernel
+        self.proc = proc
+        self.queue_depth = queue_depth
+        self._sq: List[Sqe] = []
+        self._cq: List[Cqe] = []
+        self._waiter = None
+        self._in_flight = 0
+        #: Chain submitter installed by repro.core: generator
+        #: fn(proc, file, sqe, post_cqe) scheduling a tagged chain.
+        self.chain_submitter: Optional[Callable] = None
+
+    # -- user-space side -------------------------------------------------
+
+    def prep_read(self, fd: int, offset: int, length: int,
+                  user_data: Any = None, tagged: bool = False,
+                  args: tuple = (), scratch_init: bytes = b"") -> None:
+        """Queue an SQE (no kernel involvement until enter())."""
+        if len(self._sq) + self._in_flight >= self.queue_depth:
+            raise InvalidArgument("submission queue full")
+        self._sq.append(Sqe(fd, offset, length, user_data, tagged, args,
+                            scratch_init))
+
+    def sq_pending(self) -> int:
+        return len(self._sq)
+
+    def cq_ready(self) -> int:
+        return len(self._cq)
+
+    def enter(self, wait_nr: int = 0):
+        """Submit all queued SQEs and wait for ``wait_nr`` completions.
+
+        Generator (run inside a simulated thread).  Returns the list of
+        reaped CQEs (everything available once ``wait_nr`` was reached).
+        """
+        kernel = self.kernel
+        cost = kernel.cost
+        sim = kernel.sim
+        submitted, self._sq = self._sq, []
+        kernel.syscall_count += 1
+
+        # One boundary crossing + ring bookkeeping for the whole batch.
+        yield from kernel.cpus.run_thread(cost.kernel_crossing_ns +
+                                          cost.iouring_enter_ns)
+
+        for sqe in submitted:
+            file = self.proc.file(sqe.fd)
+            yield from kernel.cpus.run_thread(cost.iouring_sqe_ns)
+            if sqe.tagged and self.chain_submitter is not None and \
+                    file.bpf_install is not None:
+                self._in_flight += 1
+                yield from self.chain_submitter(self.proc, file, sqe,
+                                                self._post_cqe)
+                continue
+            # Normal async path: fs -> bio -> driver, completion by IRQ.
+            yield from kernel.cpus.run_thread(cost.filesystem_ns)
+            segments = kernel.fs.map_range(file.inode, sqe.offset, sqe.length)
+            yield from kernel.cpus.run_thread(cost.bio_ns)
+            self._in_flight += 1
+            state = _SqeState(self, sqe, len(segments))
+            for lba, sectors in segments:
+                yield from kernel.cpus.run_thread(cost.nvme_driver_ns)
+                event = sim.event()
+                event.add_callback(state.segment_done)
+                command = NvmeCommand("read", lba, sectors,
+                                      cookie=IoCookie("irq", event=event))
+                kernel.device.submit(command)
+
+        if wait_nr > len(self._cq) + self._in_flight:
+            raise IoError(
+                f"waiting for {wait_nr} completions but only "
+                f"{len(self._cq) + self._in_flight} outstanding")
+
+        while len(self._cq) < wait_nr:
+            self._waiter = sim.event()
+            yield self._waiter
+            self._waiter = None
+        if wait_nr > 0:
+            # Woken by the completion IRQ: pay the schedule-in cost, then
+            # the (batched) reap cost per CQE.
+            yield from kernel.cpus.run_thread(cost.context_switch_ns)
+        reaped, self._cq = self._cq, []
+        if reaped:
+            yield from kernel.cpus.run_thread(cost.iouring_reap_ns *
+                                              len(reaped))
+        return reaped
+
+    # -- kernel side -------------------------------------------------------
+
+    def _post_cqe(self, user_data: Any, result: ReadResult) -> None:
+        """Called (in IRQ context) when an I/O or chain finishes."""
+        self._cq.append(Cqe(user_data, result))
+        self._in_flight -= 1
+        if self._waiter is not None and not self._waiter.triggered:
+            waiter, self._waiter = self._waiter, None
+            waiter.succeed()
+
+
+class _SqeState:
+    """Tracks a (possibly split) normal SQE until all segments complete."""
+
+    def __init__(self, ring: IoUring, sqe: Sqe, segment_count: int):
+        self.ring = ring
+        self.sqe = sqe
+        self.remaining = segment_count
+        self.chunks: List[bytes] = []
+        self.failed = False
+
+    def segment_done(self, event) -> None:
+        command = event.value
+        if command.status != 0:
+            self.failed = True
+        self.chunks.append(command.data)
+        self.remaining -= 1
+        if self.remaining == 0:
+            if self.failed:
+                self.ring._post_cqe(self.sqe.user_data,
+                                    ReadResult(b"", status=ReadResult.EIO,
+                                               final_offset=self.sqe.offset))
+                return
+            data = b"".join(self.chunks)
+            self.ring._post_cqe(self.sqe.user_data,
+                                ReadResult(data,
+                                           final_offset=self.sqe.offset))

@@ -1,0 +1,379 @@
+"""The kernel proper: syscall layer, read/write data paths, IRQ handling.
+
+The kernel wires the pieces together — CPU cores, cost model, file system,
+NVMe device — and implements the three dispatch paths of the paper's
+Figure 2:
+
+* the **normal path**: ``sys_pread`` descends syscall → ext4 → BIO → driver,
+  then either polls (microsecond devices; the thread burns its core for the
+  whole round trip, which is why the Figure 3 baseline saturates six cores
+  with six threads) or blocks and is woken by the completion IRQ;
+* the **syscall-dispatch hook**: after each completed read, a registered
+  hook may ask for a reissue at a new offset without returning to user
+  space (saves the boundary crossing and the app-side processing per hop);
+* the **NVMe-driver hook**: tagged reads hand their completions to a chain
+  handler that runs in interrupt context (installed by :mod:`repro.core`),
+  which can recycle the command straight back to the device.
+
+The kernel knows nothing about BPF: it only exposes the two hook slots and
+an ioctl-handler registry that :mod:`repro.core` fills in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.device import BlockDevice, IoTrace, LatencyModel, NvmeCommand, NvmeDevice
+from repro.errors import InvalidArgument, IoError
+from repro.kernel.extfs import ExtFs
+from repro.kernel.layers import CostModel
+from repro.kernel.process import File, Process
+from repro.sim import CpuSet, RandomStreams, Simulator
+
+__all__ = ["IoCookie", "Kernel", "KernelConfig", "ReadResult"]
+
+
+@dataclass
+class KernelConfig:
+    """Knobs for building a simulated machine."""
+
+    cores: int = 6
+    cost_model: CostModel = field(default_factory=CostModel)
+    capacity_sectors: int = 4 * 1024 * 1024  # 2 GiB
+    seed: int = 0
+    trace_device: bool = False
+    #: Blocks per extent cap for the allocator (small values force
+    #: fragmented files and exercise the BIO split fallback).
+    max_extent_blocks: int = 32768
+    #: Scatter allocations randomly across free runs (fragmentation knob).
+    scatter_allocations: bool = False
+
+
+class ReadResult:
+    """What a read (possibly a BPF chain) returned to the application."""
+
+    OK = "ok"
+    EXTENT_INVALIDATED = "eextent"
+    CHAIN_LIMIT = "echainlim"
+    SPLIT_FALLBACK = "split-fallback"
+    EIO = "eio"
+
+    __slots__ = ("data", "status", "hops", "final_offset", "value", "value2",
+                 "scratch")
+
+    def __init__(self, data: bytes, status: str = "ok", hops: int = 1,
+                 final_offset: int = 0, value: Optional[int] = None,
+                 value2: Optional[int] = None,
+                 scratch: Optional[bytes] = None):
+        self.data = data
+        self.status = status
+        self.hops = hops
+        self.final_offset = final_offset
+        #: Scalar results a BPF chain chose to return instead of a buffer.
+        self.value = value
+        self.value2 = value2
+        #: Opaque continuation payload for fallback restarts (the chain's
+        #: scratch area at the moment it was handed back to the app).
+        self.scratch = scratch
+
+    @property
+    def ok(self) -> bool:
+        return self.status == self.OK
+
+    def __repr__(self) -> str:
+        return (f"ReadResult({self.status}, {len(self.data)}B, "
+                f"hops={self.hops})")
+
+
+class IoCookie:
+    """Driver-side per-command state hung off ``NvmeCommand.cookie``.
+
+    ``kind`` selects the completion discipline: ``"poll"`` (the submitting
+    thread is spinning and reaps the completion itself), ``"irq"`` (the
+    kernel runs an interrupt handler which wakes the waiter), or
+    ``"chain"`` (the completion belongs to a BPF chain and is handed to the
+    chain handler registered by repro.core).
+    """
+
+    __slots__ = ("kind", "event", "chain")
+
+    def __init__(self, kind: str, event: Any = None, chain: Any = None):
+        if kind not in ("poll", "irq", "chain"):
+            raise InvalidArgument(f"bad cookie kind {kind!r}")
+        self.kind = kind
+        self.event = event
+        self.chain = chain
+
+
+class Kernel:
+    """One simulated machine: cores + kernel + file system + NVMe device."""
+
+    def __init__(self, sim: Simulator, device_model: LatencyModel,
+                 config: Optional[KernelConfig] = None):
+        self.sim = sim
+        self.config = config or KernelConfig()
+        self.cost = self.config.cost_model
+        self.cpus = CpuSet(sim, self.config.cores)
+        self.streams = RandomStreams(self.config.seed)
+        self.media = BlockDevice(self.config.capacity_sectors)
+        self.trace = IoTrace(enabled=self.config.trace_device)
+        self.device = NvmeDevice(sim, device_model, self.media,
+                                 self.streams.stream("nvme"), trace=self.trace)
+        self.device.completion_handler = self._on_device_completion
+        scatter = (self.streams.stream("alloc")
+                   if self.config.scatter_allocations else None)
+        self.fs = ExtFs(self.media,
+                        max_extent_blocks=self.config.max_extent_blocks,
+                        scatter_rng=scatter)
+        self.model = device_model
+        self._next_pid = 1
+
+        # --- hook slots filled in by repro.core --------------------------
+        #: Handles completions whose cookie.kind == "chain"; called in
+        #: device-completion context, must schedule its own CPU work.
+        self.chain_completion_handler: Optional[
+            Callable[[NvmeCommand], None]] = None
+        #: Generator hook run at the syscall dispatch layer after a read
+        #: completes: fn(proc, file, offset, result, hook_state) ->
+        #: (action, payload) where action is "return" or "reissue"
+        #: (payload = next offset).  ``hook_state`` is a dict scoped to one
+        #: sys_pread call so the hook can keep loop state across reissues.
+        self.syscall_read_hook: Optional[Callable] = None
+        #: Generator run instead of the normal data path for tagged reads:
+        #: fn(proc, file, offset, length) -> ReadResult.
+        self.tagged_read_handler: Optional[Callable] = None
+        #: ioctl dispatch: op code -> generator fn(proc, file, arg) -> int.
+        self.ioctl_handlers: Dict[int, Callable] = {}
+
+        # Statistics.
+        self.syscall_count = 0
+        self.irq_count = 0
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+
+    def spawn_process(self, name: str = "") -> Process:
+        proc = Process(self._next_pid, name)
+        self._next_pid += 1
+        return proc
+
+    # ------------------------------------------------------------------
+    # Syscalls (each is a generator run inside a simulated thread)
+    # ------------------------------------------------------------------
+
+    def sys_open(self, proc: Process, path: str, create: bool = False):
+        """Open (optionally creating) a file; returns an fd."""
+        yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
+                                        self.cost.syscall_ns)
+        self.syscall_count += 1
+        if create and not self.fs.exists(path):
+            inode = self.fs.create(path)
+        else:
+            inode = self.fs.lookup(path)
+        return proc.install_fd(File(inode, path=path))
+
+    def sys_close(self, proc: Process, fd: int):
+        yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
+                                        self.cost.syscall_ns)
+        self.syscall_count += 1
+        proc.close_fd(fd)
+        return 0
+
+    def sys_ioctl(self, proc: Process, fd: int, op: int, arg: Any = None):
+        """Dispatch to a registered ioctl handler (e.g. the BPF install)."""
+        yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
+                                        self.cost.syscall_ns)
+        self.syscall_count += 1
+        if op not in self.ioctl_handlers:
+            raise InvalidArgument(f"unknown ioctl op {op:#x}")
+        file = proc.file(fd)
+        result = yield from self.ioctl_handlers[op](proc, file, arg)
+        return result
+
+    def sys_ftruncate(self, proc: Process, fd: int, size: int):
+        yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
+                                        self.cost.syscall_ns +
+                                        self.cost.filesystem_ns)
+        self.syscall_count += 1
+        self.fs.truncate(proc.file(fd).inode, size)
+        return 0
+
+    def sys_pread(self, proc: Process, fd: int, offset: int, length: int,
+                  tagged: bool = False,
+                  hook_state: Optional[Dict[str, Any]] = None):
+        """A synchronous O_DIRECT positional read.
+
+        With ``tagged=True`` and a chain handler installed, the read is
+        dispatched down the tagged path (the paper's NVMe-hook chain); the
+        returned :class:`ReadResult` then reports chain status and hops.
+        """
+        file = proc.file(fd)
+        self.syscall_count += 1
+        yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
+                                        self.cost.syscall_ns)
+
+        if tagged and self.tagged_read_handler is not None and \
+                file.bpf_install is not None and \
+                getattr(file.bpf_install, "hook_kind", None) == "nvme":
+            result = yield from self.tagged_read_handler(proc, file, offset,
+                                                         length)
+            return result
+
+        if hook_state is None:
+            hook_state = {}
+        while True:  # syscall-dispatch hook reissue loop
+            data = yield from self._normal_read_path(file, offset, length)
+            result = ReadResult(data, final_offset=offset)
+            if tagged and self.syscall_read_hook is not None and \
+                    file.bpf_install is not None:
+                action, payload = yield from self.syscall_read_hook(
+                    proc, file, offset, result, hook_state)
+                if action == "reissue":
+                    offset = payload
+                    # Re-enter the dispatch layer without a boundary
+                    # crossing or app-side processing.
+                    yield from self.cpus.run_thread(self.cost.syscall_ns)
+                    continue
+                if action == "return":
+                    return payload
+                raise IoError(f"bad syscall hook action {action!r}")
+            return result
+
+    def sys_pwrite(self, proc: Process, fd: int, offset: int, data: bytes):
+        """A synchronous O_DIRECT positional write (sector aligned)."""
+        file = proc.file(fd)
+        self.syscall_count += 1
+        cost = self.cost
+        yield from self.cpus.run_thread(cost.kernel_crossing_ns +
+                                        cost.syscall_ns)
+        yield from self.cpus.run_thread(cost.filesystem_ns)
+        self.fs.ensure_allocated(file.inode, offset, len(data))
+        segments = self.fs.map_range(file.inode, offset, len(data))
+        yield from self.cpus.run_thread(cost.bio_ns)
+        events = []
+        consumed = 0
+        for lba, sectors in segments:
+            yield from self.cpus.run_thread(cost.nvme_driver_ns)
+            chunk = data[consumed : consumed + sectors * 512]
+            consumed += sectors * 512
+            event = self.sim.event()
+            command = NvmeCommand("write", lba, sectors, data=chunk,
+                                  cookie=IoCookie("irq", event=event))
+            self.device.submit(command)
+            events.append(event)
+        for event in events:
+            completed = yield event
+            if completed.status != 0:
+                raise IoError(f"media error at lba {completed.lba}")
+        yield from self.cpus.run_thread(cost.context_switch_ns)
+        file.inode.size = max(file.inode.size, offset + len(data))
+        return len(data)
+
+    # ------------------------------------------------------------------
+    # Data path internals (also used by repro.core)
+    # ------------------------------------------------------------------
+
+    def should_poll(self) -> bool:
+        """Hybrid polling: spin for completions on microsecond devices."""
+        return self.model.read_ns < self.cost.poll_threshold_ns
+
+    def _normal_read_path(self, file: File, offset: int, length: int):
+        """ext4 -> BIO -> driver -> device for one read; returns bytes."""
+        cost = self.cost
+        yield from self.cpus.run_thread(cost.filesystem_ns)
+        segments = self.fs.map_range(file.inode, offset, length)
+        yield from self.cpus.run_thread(cost.bio_ns)
+
+        if self.should_poll():
+            # The thread holds a core across submission and the device
+            # round trip (hybrid polling).
+            request = self.cpus.request(CpuSet.PRIORITY_THREAD)
+            yield request
+            try:
+                events = []
+                for lba, sectors in segments:
+                    yield self.sim.timeout(cost.nvme_driver_ns)
+                    event = self.sim.event()
+                    command = NvmeCommand(
+                        "read", lba, sectors,
+                        cookie=IoCookie("poll", event=event))
+                    self.device.submit(command)
+                    events.append(event)
+                chunks = []
+                for event in events:
+                    completed = yield event
+                    if completed.status != 0:
+                        raise IoError(
+                            f"media error at lba {completed.lba}")
+                    chunks.append(completed.data)
+            finally:
+                self.cpus.release(request)
+            return b"".join(chunks)
+
+        # Interrupt-driven: submit, sleep, get woken by the IRQ handler.
+        events = []
+        for lba, sectors in segments:
+            yield from self.cpus.run_thread(cost.nvme_driver_ns)
+            event = self.sim.event()
+            command = NvmeCommand("read", lba, sectors,
+                                  cookie=IoCookie("irq", event=event))
+            self.device.submit(command)
+            events.append(event)
+        chunks = []
+        for event in events:
+            completed = yield event
+            if completed.status != 0:
+                raise IoError(f"media error at lba {completed.lba}")
+            chunks.append(completed.data)
+        yield from self.cpus.run_thread(cost.context_switch_ns)
+        return b"".join(chunks)
+
+    def submit_chain_command(self, command: NvmeCommand):
+        """Charge driver submission cost and post a chain command.
+
+        Used by repro.core both for the first hop (thread context) and for
+        recycled resubmissions (IRQ context charges its own cost).
+        """
+        yield from self.cpus.run_thread(self.cost.nvme_driver_ns)
+        self.device.submit(command)
+
+    # ------------------------------------------------------------------
+    # Completion side
+    # ------------------------------------------------------------------
+
+    def _on_device_completion(self, command: NvmeCommand) -> None:
+        cookie = command.cookie
+        if not isinstance(cookie, IoCookie):
+            raise IoError(f"completion with foreign cookie: {command!r}")
+        if cookie.kind == "poll":
+            # The polling thread reaps this itself; no interrupt is raised.
+            cookie.event.succeed(command)
+            return
+        if cookie.kind == "chain":
+            if self.chain_completion_handler is None:
+                raise IoError("chain completion but no handler installed")
+            self.chain_completion_handler(command)
+            return
+        self.sim.spawn(self._irq_complete(command), name="irq")
+
+    def _irq_complete(self, command: NvmeCommand):
+        """The plain completion interrupt: bookkeeping, then wake the waiter."""
+        self.irq_count += 1
+        yield from self.cpus.run_irq(self.cost.irq_entry_ns)
+        command.cookie.event.succeed(command)
+
+    # ------------------------------------------------------------------
+    # Convenience (setup helpers used by tests/examples/benchmarks)
+    # ------------------------------------------------------------------
+
+    def create_file(self, path: str, data: bytes) -> None:
+        """Create ``path`` with ``data``, without simulated time."""
+        inode = self.fs.create(path)
+        if data:
+            self.fs.write_sync(inode, 0, data)
+
+    def run_syscall(self, generator) -> Any:
+        """Run one syscall generator to completion (drives the simulator)."""
+        return self.sim.run_process(generator)

@@ -1,0 +1,294 @@
+"""Generator-based discrete-event simulation engine.
+
+Processes are plain Python generators that ``yield`` awaitable
+:class:`Event` objects.  The engine resumes a process when the event it is
+waiting on triggers.  Example::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(100)          # advance simulated time by 100 ns
+        return "done"
+
+    proc = sim.spawn(worker(sim))
+    sim.run()
+    assert proc.value == "done"
+    assert sim.now == 100
+
+Determinism: events scheduled for the same timestamp trigger in schedule
+order; there is no wall-clock or hash-order dependence anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["AllOf", "AnyOf", "Event", "Process", "Simulator", "Timeout"]
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *pending*; :meth:`succeed` or :meth:`fail` schedules it to
+    trigger at the current simulation time (after events already queued for
+    that time), at which point all registered callbacks run in registration
+    order.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = PENDING
+        self._exception: Optional[BaseException] = None
+        self._scheduled = False
+
+    # -- state --------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has fired (successfully or not)."""
+        return self._value is not PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired without an exception."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's payload; raises if the event failed or is pending."""
+        if self._value is PENDING:
+            raise SimulationError("event value read before it triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule this event to fire successfully at the current time."""
+        self._set(value, None)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule this event to fire with an exception at the current time."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._set(PENDING, exception)
+        return self
+
+    def _set(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self._scheduled or self.triggered:
+            raise SimulationError("event triggered twice")
+        self._scheduled = True
+        self._pending_value = value
+        self._pending_exception = exception
+        self.sim._schedule(0, self)
+
+    def _fire(self) -> None:
+        """Called by the simulator when this event comes off the queue."""
+        if self._pending_exception is not None:
+            self._exception = self._pending_exception
+            self._value = None
+        else:
+            self._value = self._pending_value
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- composition ----------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires (immediately if fired)."""
+        if self.triggered:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay.  Created via ``sim.timeout``."""
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._scheduled = True
+        self._pending_value = value
+        self._pending_exception = None
+        sim._schedule(delay, self)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator returns.
+
+    The generator's ``return`` value becomes the process's :attr:`value`; an
+    uncaught exception inside the generator fails the process event (and
+    propagates to anything waiting on it).
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the process at the current time.
+        starter = Event(sim)
+        starter.add_callback(self._resume)
+        starter.succeed()
+
+    def _resume(self, event: Event) -> None:
+        while True:
+            try:
+                if event is not None and event._exception is not None:
+                    target = self._generator.throw(event._exception)
+                else:
+                    target = self._generator.send(
+                        event._value if event is not None else None
+                    )
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+                if not self.callbacks and not self.sim.suppress_crashes:
+                    raise
+                self.fail(exc)
+                return
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {target!r}, not an Event"
+                )
+            if target.triggered:
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            return
+
+
+class AllOf(Event):
+    """Fires when every event in ``events`` has fired; value is their values."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered or self._scheduled:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child._value for child in self._events])
+
+
+class AnyOf(Event):
+    """Fires when the first of ``events`` fires; value is ``(index, value)``."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(self._events):
+            event.add_callback(lambda ev, i=index: self._on_child(i, ev))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self.triggered or self._scheduled:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+        else:
+            self.succeed((index, event._value))
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, sequence, event)."""
+
+    def __init__(self, suppress_crashes: bool = False):
+        self._now = 0
+        self._heap: List = []
+        self._sequence = count()
+        #: If True, a crashing process fails silently even with no waiters.
+        self.suppress_crashes = suppress_crashes
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _schedule(self, delay: int, event: Event) -> None:
+        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), event))
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` nanoseconds from now."""
+        return Timeout(self, int(delay), value)
+
+    def event(self) -> Event:
+        """A fresh pending event (trigger it with ``succeed``/``fail``)."""
+        return Event(self)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a generator as a process; returns its Process event."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- running --------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._heap:
+            raise SimulationError("step() with an empty event queue")
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._fire()
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the queue drains, or until simulated time ``until``.
+
+        With ``until`` set, the clock is left exactly at ``until`` even if the
+        next event lies beyond it.
+        """
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_process(self, generator: Generator, until: Optional[int] = None) -> Any:
+        """Spawn ``generator``, run the simulation, and return its value."""
+        process = self.spawn(generator)
+        self.run(until=until)
+        if not process.triggered:
+            raise SimulationError(
+                f"process {process.name!r} did not finish by t={self._now}"
+            )
+        return process.value

@@ -1,0 +1,178 @@
+"""Capacity-limited resources and FIFO stores for the simulation engine.
+
+:class:`Resource` models anything with a fixed number of slots — CPU cores,
+device service units.  Requests carry a priority so interrupt work can jump
+ahead of thread work (lower number = more urgent), matching the way the
+simulated NVMe completion path preempts application threads for dispatch.
+
+:class:`Store` models an unbounded FIFO queue of items — NVMe submission and
+completion queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import count
+from typing import Any, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["CpuSet", "Request", "Resource", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Fires when the slot is granted.  The holder must eventually pass it back
+    to :meth:`Resource.release`.
+    """
+
+    def __init__(self, sim: Simulator, resource: "Resource", priority: int):
+        super().__init__(sim)
+        self.resource = resource
+        self.priority = priority
+        self.granted = False
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a priority wait queue."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: List = []
+        self._sequence = count()
+        # Utilisation accounting: integral of busy slots over time.
+        self._busy_time = 0
+        self._last_change = sim.now
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    def busy_time(self) -> int:
+        """Total busy slot-nanoseconds accumulated so far."""
+        return self._busy_time + self._in_use * (self.sim.now - self._last_change)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        req = Request(self.sim, self, priority)
+        if self._in_use < self.capacity and not self._waiting:
+            self._grant(req)
+        else:
+            heapq.heappush(self._waiting, (priority, next(self._sequence), req))
+        return req
+
+    def _grant(self, req: Request) -> None:
+        self._account()
+        self._in_use += 1
+        req.granted = True
+        req.succeed(req)
+
+    def release(self, req: Request) -> None:
+        """Return a previously granted slot."""
+        if not req.granted:
+            raise SimulationError(f"release of ungranted request on {self.name}")
+        req.granted = False
+        self._account()
+        self._in_use -= 1
+        while self._waiting and self._in_use < self.capacity:
+            _prio, _seq, waiter = heapq.heappop(self._waiting)
+            self._grant(waiter)
+
+    def execute(self, cost: int, priority: int = 0) -> Generator:
+        """Hold one slot for ``cost`` nanoseconds (generator helper).
+
+        Usage inside a process: ``yield from resource.execute(350)``.
+        """
+        req = self.request(priority)
+        yield req
+        try:
+            if cost > 0:
+                yield self.sim.timeout(cost)
+        finally:
+            self.release(req)
+
+
+class CpuSet(Resource):
+    """A pool of CPU cores.
+
+    Thread work runs at :data:`PRIORITY_THREAD`; interrupt/dispatch work runs
+    at :data:`PRIORITY_IRQ` so it is scheduled ahead of queued thread work,
+    approximating hardware interrupt priority on a non-preemptive simulator.
+    """
+
+    PRIORITY_IRQ = 0
+    PRIORITY_THREAD = 10
+
+    def __init__(self, sim: Simulator, cores: int):
+        super().__init__(sim, capacity=cores, name=f"cpu{cores}")
+        self.cores = cores
+
+    def run_thread(self, cost: int) -> Generator:
+        """Charge ``cost`` ns of thread-priority CPU time."""
+        yield from self.execute(cost, priority=self.PRIORITY_THREAD)
+
+    def run_irq(self, cost: int) -> Generator:
+        """Charge ``cost`` ns of interrupt-priority CPU time."""
+        yield from self.execute(cost, priority=self.PRIORITY_IRQ)
+
+    def utilisation(self) -> float:
+        """Mean fraction of cores busy since the simulation started."""
+        elapsed = self.sim.now
+        if elapsed == 0:
+            return 0.0
+        return self.busy_time() / (elapsed * self.cores)
+
+
+class Store:
+    """An unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the next
+    item (immediately if one is queued).  Items are delivered in put order and
+    waiters are served in get order.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: deque = deque()
+        self._getters: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns None if the store is empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

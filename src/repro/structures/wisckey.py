@@ -1,0 +1,122 @@
+"""WiscKey-style key/value separation inside a single file.
+
+The paper cites WiscKey (its B-tree benchmark "assumes the leaves of the
+index contain user data rather than pointers" *for simplicity*, referencing
+[36]).  This module implements the non-simplified layout: a B+-tree whose
+leaf values are offsets of *value-log records*, so a lookup is an index
+traversal **plus one more dependent hop** into the log — a chain the BPF
+program follows without surfacing the index pages.
+
+Because a chain may only dereference offsets inside the file the program
+was installed on (the §4 security rule), the log lives in the same file as
+the index::
+
+    page 0            B-tree meta page
+    pages 1..T        B-tree pages (leaf values = log record offsets)
+    pages T+1..       value-log records, one per 4 KiB block:
+                          key u64 | value_len u64 | payload bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import InvalidArgument
+from repro.structures.btree import BTree
+from repro.structures.pages import PAGE_SIZE, FileBackend
+
+__all__ = ["WisckeyStore"]
+
+_RECORD_HEADER = struct.Struct("<QQ")
+MAX_PAYLOAD = PAGE_SIZE - _RECORD_HEADER.size
+
+
+class WisckeyStore:
+    """Build and read an index-plus-value-log file."""
+
+    def __init__(self, backend: FileBackend):
+        self.backend = backend
+        self.tree = BTree(backend)
+
+    @staticmethod
+    def build(backend: FileBackend,
+              items: Iterable[Tuple[int, bytes]],
+              fanout: int = 64) -> "WisckeyStore":
+        """Write sorted ``(key, payload)`` pairs; payloads up to 4080 B."""
+        items = list(items)
+        if not items:
+            raise InvalidArgument("cannot build an empty store")
+        for key, payload in items:
+            if len(payload) > MAX_PAYLOAD:
+                raise InvalidArgument(
+                    f"payload for key {key} exceeds {MAX_PAYLOAD} bytes")
+
+        # The tree's page span depends only on the item count, so size it
+        # first, then place the log right after it.
+        probe = BTree.build(_SpanProbe(), [(k, 0) for k, _p in items],
+                            fanout=fanout)
+        log_base = probe.backend.high_water
+        index_items: List[Tuple[int, int]] = []
+        backend.preallocate(PAGE_SIZE, log_base - PAGE_SIZE +
+                            len(items) * PAGE_SIZE)
+        for number, (key, payload) in enumerate(items):
+            record_offset = log_base + number * PAGE_SIZE
+            record = bytearray(PAGE_SIZE)
+            _RECORD_HEADER.pack_into(record, 0, key, len(payload))
+            record[16 : 16 + len(payload)] = payload
+            backend.write(record_offset, bytes(record))
+            index_items.append((key, record_offset))
+        BTree.build(backend, index_items, fanout=fanout)
+        return WisckeyStore(backend)
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: int) -> Optional[bytes]:
+        """Reference lookup: index traversal + one log dereference."""
+        record_offset = self.tree.lookup(key)
+        if record_offset is None:
+            return None
+        record = self.backend.read(record_offset, PAGE_SIZE)
+        stored_key, length = _RECORD_HEADER.unpack_from(record, 0)
+        if stored_key != key:
+            raise InvalidArgument(
+                f"log corruption: wanted key {key}, found {stored_key}")
+        return bytes(record[16 : 16 + length])
+
+    def hops_per_get(self) -> int:
+        """Index depth plus the log dereference."""
+        return self.tree.depth + 1
+
+    @staticmethod
+    def parse_record(block: bytes) -> Tuple[int, bytes]:
+        """(key, payload) from a raw log-record block (for chain results)."""
+        stored_key, length = _RECORD_HEADER.unpack_from(block, 0)
+        return stored_key, bytes(block[16 : 16 + length])
+
+
+class _SpanProbe(FileBackend):
+    """A write-discarding backend that records the highest offset written,
+    used to pre-compute the tree's page span.  It keeps only the metadata
+    page so ``BTree.build`` can hand back a readable handle."""
+
+    def __init__(self):
+        self.high_water = 0
+        self._meta = bytes(PAGE_SIZE)
+
+    def read(self, offset: int, length: int) -> bytes:
+        if offset == 0 and length <= PAGE_SIZE:
+            return self._meta[:length]
+        raise InvalidArgument("probe backend only retains the meta page")
+
+    def write(self, offset: int, data: bytes) -> None:
+        if offset == 0:
+            self._meta = bytes(data)
+        self.high_water = max(self.high_water, offset + len(data))
+
+    def preallocate(self, offset: int, length: int) -> None:
+        self.high_water = max(self.high_water, offset + length)
+
+    @property
+    def size(self) -> int:
+        return self.high_water

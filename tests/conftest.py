@@ -1,0 +1,6 @@
+"""Test configuration: make shared helpers importable."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,460 @@
+"""Integration tests for the chain engine (the paper's core mechanism)."""
+
+import pytest
+
+from chainutil import (
+    NVM2_EXACT,
+    build_machine,
+    install_walker,
+    linked_file_bytes,
+    walker_program,
+)
+from repro.core import Hook
+from repro.errors import ChainLimitExceeded, NotInstalled
+from repro.kernel import IoUring, ReadResult
+
+ORDER = [3, 5, 0, 7, 2, 6, 1, 4]
+
+
+def make_list_machine(order=ORDER, **kwargs):
+    sim, kernel, bpf = build_machine(**kwargs)
+    kernel.create_file("/list", linked_file_bytes(order))
+    return sim, kernel, bpf
+
+
+# ---------------------------------------------------------------------------
+# NVMe hook
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("jit", [True, False])
+def test_nvme_chain_walks_to_the_end(jit):
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list", jit=jit)
+
+    def workload():
+        result = yield from bpf.read_chain(proc, fd, ORDER[0] * 4096, 4096)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.ok
+    assert result.hops == len(ORDER)
+    assert result.value == 1000 + ORDER[-1]
+
+
+def test_nvme_chain_reissues_from_driver_not_bio():
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        yield from bpf.read_chain(proc, fd, ORDER[0] * 4096, 4096)
+
+    kernel.run_syscall(workload())
+    assert kernel.trace.count(source="bpf-recycle") == len(ORDER) - 1
+    assert kernel.trace.count(source="bio") == 1
+
+
+def test_nvme_chain_latency_beats_baseline():
+    """The headline claim: chaining at the driver cuts latency ~in half."""
+    depth = 10
+    order = list(range(depth))
+    sim, kernel, bpf = make_list_machine(order)
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def chain():
+        start = sim.now
+        yield from bpf.read_chain(proc, fd, 0, 4096)
+        return sim.now - start
+
+    chain_ns = kernel.run_syscall(chain())
+
+    def baseline():
+        start = sim.now
+        offset = 0
+        cost = kernel.cost
+        for _hop in range(depth):
+            result = yield from kernel.sys_pread(proc, fd, offset, 4096)
+            # App-side processing to find the next pointer.
+            yield from kernel.cpus.run_thread(cost.user_process_ns)
+            offset = int.from_bytes(result.data[0:8], "little")
+        return sim.now - start
+
+    baseline_ns = kernel.run_syscall(baseline())
+    assert chain_ns < 0.65 * baseline_ns  # at least ~35% faster at depth 10
+
+
+def test_chain_value_and_buffer_returns():
+    # The walker returns a value; also check a buffer-returning program.
+    sim, kernel, bpf = make_list_machine([0, 2, 1])
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        result = yield from bpf.read_chain(proc, fd, 0, 4096)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.value == 1001
+    assert result.data == b""
+    assert result.final_offset == 1 * 4096
+
+
+def test_read_chain_without_install_raises():
+    sim, kernel, bpf = make_list_machine()
+    proc = kernel.spawn_process()
+
+    def workload():
+        fd = yield from kernel.sys_open(proc, "/list")
+        yield from bpf.read_chain(proc, fd, 0, 4096)
+
+    with pytest.raises(NotInstalled):
+        kernel.run_syscall(workload())
+
+
+def test_tagged_sys_pread_uses_chain():
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        result = yield from kernel.sys_pread(proc, fd, ORDER[0] * 4096,
+                                             4096, tagged=True)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.ok
+    assert result.hops == len(ORDER)
+
+
+def test_untagged_read_ignores_installation():
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        result = yield from kernel.sys_pread(proc, fd, 0, 4096)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.hops == 1  # plain read, no chaining
+    assert len(result.data) == 4096
+
+
+# ---------------------------------------------------------------------------
+# Syscall hook
+# ---------------------------------------------------------------------------
+
+
+def test_syscall_hook_chain_completes():
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list", hook=Hook.SYSCALL)
+
+    def workload():
+        result = yield from bpf.read_chain(proc, fd, ORDER[0] * 4096, 4096)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.ok
+    assert result.hops == len(ORDER)
+    assert result.value == 1000 + ORDER[-1]
+    # Syscall-layer reissues still walk the BIO layer -> all commands "bio".
+    assert kernel.trace.count(source="bpf-recycle") == 0
+    assert kernel.trace.count(source="bio") == len(ORDER)
+
+
+def test_syscall_hook_is_slower_than_nvme_hook():
+    depth = 10
+    order = list(range(depth))
+
+    def chain_time(hook):
+        sim, kernel, bpf = make_list_machine(order)
+        proc, fd = install_walker(sim, kernel, bpf, "/list", hook=hook)
+
+        def workload():
+            start = sim.now
+            yield from bpf.read_chain(proc, fd, 0, 4096)
+            return sim.now - start
+
+        return kernel.run_syscall(workload())
+
+    assert chain_time(Hook.NVME) < chain_time(Hook.SYSCALL)
+
+
+# ---------------------------------------------------------------------------
+# Chain limit (fairness bound)
+# ---------------------------------------------------------------------------
+
+
+def test_chain_limit_kills_long_chain():
+    order = list(range(20))
+    sim, kernel, bpf = make_list_machine(order, max_chain_hops=5)
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        result = yield from bpf.read_chain(proc, fd, 0, 4096)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.status == ReadResult.CHAIN_LIMIT
+    assert result.hops == 5
+    # The kill hands back the next offset so the app can continue.
+    assert result.final_offset == 5 * 4096
+    assert bpf.accounting.chains_killed[proc.pid] == 1
+
+
+def test_chain_limit_robust_read_raises_when_asked():
+    order = list(range(20))
+    sim, kernel, bpf = make_list_machine(order, max_chain_hops=5)
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        yield from bpf.read_chain_robust(proc, fd, 0, 4096,
+                                         continue_on_limit=False)
+
+    with pytest.raises(ChainLimitExceeded):
+        kernel.run_syscall(workload())
+
+
+def test_chain_limit_robust_read_continues_in_bounded_chains():
+    order = list(range(20))
+    sim, kernel, bpf = make_list_machine(order, max_chain_hops=5)
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        result = yield from bpf.read_chain_robust(proc, fd, 0, 4096)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.ok
+    assert result.value == 1000 + order[-1]
+    assert result.hops == 20
+    # ceil(20 / 5) - 1 = 3 kills before the chain finished.
+    assert bpf.accounting.chains_killed[proc.pid] == 3
+
+
+def test_chain_within_limit_unaffected():
+    sim, kernel, bpf = make_list_machine(max_chain_hops=len(ORDER))
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        result = yield from bpf.read_chain(proc, fd, ORDER[0] * 4096, 4096)
+        return result
+
+    assert kernel.run_syscall(workload()).ok
+
+
+def test_accounting_counts_and_drains():
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        yield from bpf.read_chain(proc, fd, ORDER[0] * 4096, 4096)
+
+    kernel.run_syscall(workload())
+    assert bpf.accounting.totals[proc.pid] == len(ORDER) - 1
+    drained = bpf.accounting.drain_to_bio()
+    assert drained == {proc.pid: len(ORDER) - 1}
+    assert bpf.accounting.pending(proc.pid) == 0
+    assert bpf.accounting.totals[proc.pid] == len(ORDER) - 1
+
+
+# ---------------------------------------------------------------------------
+# Extent invalidation (EEXTENT)
+# ---------------------------------------------------------------------------
+
+
+def test_unmap_invalidates_and_chain_aborts():
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+    inode = kernel.fs.lookup("/list")
+
+    def workload():
+        # Punch a block after install: the snapshot goes invalid.
+        kernel.fs.punch_range(inode, 9 * 4096, 4096)
+        result = yield from bpf.read_chain(proc, fd, ORDER[0] * 4096, 4096)
+        return result
+
+    # Extend the file so punching block 9 doesn't affect the chain's data.
+    kernel.fs.write_sync(inode, 9 * 4096, b"\x00" * 4096)
+
+    def install_refresh():
+        yield from bpf.refresh(proc, fd)
+
+    kernel.run_syscall(install_refresh())
+    result = kernel.run_syscall(workload())
+    assert result.status == ReadResult.EXTENT_INVALIDATED
+    assert bpf.cache.invalidations >= 1
+
+
+def test_robust_read_recovers_from_invalidation():
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+    inode = kernel.fs.lookup("/list")
+    kernel.fs.write_sync(inode, 9 * 4096, b"\x00" * 4096)
+
+    def workload():
+        kernel.fs.punch_range(inode, 9 * 4096, 4096)
+        result = yield from bpf.read_chain_robust(proc, fd,
+                                                  ORDER[0] * 4096, 4096)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.ok
+    assert result.value == 1000 + ORDER[-1]
+    assert bpf.cache.refreshes >= 2  # install + recovery refresh
+
+
+def test_growth_does_not_invalidate():
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+    inode = kernel.fs.lookup("/list")
+
+    def workload():
+        kernel.fs.write_sync(inode, 100 * 4096, b"\x00" * 4096)  # grow
+        result = yield from bpf.read_chain(proc, fd, ORDER[0] * 4096, 4096)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.ok
+    assert bpf.cache.invalidations == 0
+
+
+def test_chain_to_unsnapshotted_offset_misses():
+    # Install first, then grow the file and point the list into the new
+    # region: the cache snapshot doesn't cover it -> EEXTENT.
+    import struct
+
+    order = [0, 1]
+    sim, kernel, bpf = make_list_machine(order)
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+    inode = kernel.fs.lookup("/list")
+    kernel.fs.write_sync(inode, 50 * 4096, b"\x00" * 4096)
+    # Rewrite block 0's next pointer to the new block (beyond the snapshot).
+    head = bytearray(kernel.fs.read_sync(inode, 0, 4096))
+    struct.pack_into("<Q", head, 0, 50 * 4096)
+    kernel.fs.write_sync(inode, 0, bytes(head))
+
+    def workload():
+        result = yield from bpf.read_chain(proc, fd, 0, 4096)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.status == ReadResult.EXTENT_INVALIDATED
+    assert result.final_offset == 50 * 4096
+
+
+# ---------------------------------------------------------------------------
+# Split fallback (granularity mismatch)
+# ---------------------------------------------------------------------------
+
+
+def test_split_chain_falls_back_and_robust_read_completes():
+    # Two-block extents with guard gaps: an 8 KiB read spans a discontiguous
+    # extent boundary on every other hop, forcing the split fallback.
+    order = list(range(11))  # chain terminates at block 10
+    sim, kernel, bpf = build_machine(max_extent_blocks=2)
+    # Pad with one extra block so the final 8 KiB read is fully mapped.
+    kernel.create_file("/list", linked_file_bytes(order) + bytes(4096))
+    assert kernel.fs.fragmentation_of(kernel.fs.lookup("/list")) > 1
+    proc, fd = install_walker(sim, kernel, bpf, "/list", block_size=8192)
+
+    def workload():
+        result = yield from bpf.read_chain_robust(proc, fd, 0, 8192,
+                                                  max_retries=16)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.ok
+    assert result.value == 1000 + order[-1]
+    assert bpf.engine.split_fallbacks >= 1
+
+
+def test_first_hop_split_falls_back_and_recovers():
+    order = list(range(11))
+    sim, kernel, bpf = build_machine(max_extent_blocks=2)
+    kernel.create_file("/list", linked_file_bytes(order) + bytes(4096))
+    proc, fd = install_walker(sim, kernel, bpf, "/list", block_size=8192)
+
+    def workload():
+        # Offset 4096 + length 8192 spans blocks 1-2, which sit in
+        # different extents: the very first hop must fall back.
+        result = yield from bpf.read_chain_robust(proc, fd, 4096, 8192,
+                                                  max_retries=16)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.ok
+    assert result.value == 1000 + order[-1]
+
+
+def test_contiguous_chain_never_falls_back():
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        result = yield from bpf.read_chain_robust(proc, fd,
+                                                  ORDER[0] * 4096, 4096)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.ok
+    assert bpf.engine.split_fallbacks == 0
+
+
+# ---------------------------------------------------------------------------
+# io_uring chains
+# ---------------------------------------------------------------------------
+
+
+def test_iouring_tagged_chains_complete():
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        ring = IoUring(kernel, proc)
+        ring.chain_submitter = bpf.engine.submit_uring_chain
+        for index in range(4):
+            ring.prep_read(fd, ORDER[0] * 4096, 4096, user_data=index,
+                           tagged=True)
+        cqes = yield from ring.enter(wait_nr=4)
+        return cqes
+
+    cqes = kernel.run_syscall(workload())
+    assert len(cqes) == 4
+    for cqe in cqes:
+        assert cqe.result.ok
+        assert cqe.result.value == 1000 + ORDER[-1]
+    # 4 chains x (depth-1) recycles.
+    assert kernel.trace.count(source="bpf-recycle") == 4 * (len(ORDER) - 1)
+
+
+def test_iouring_untagged_sqes_unaffected_by_installation():
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        ring = IoUring(kernel, proc)
+        ring.chain_submitter = bpf.engine.submit_uring_chain
+        ring.prep_read(fd, 0, 4096, user_data="plain")
+        cqes = yield from ring.enter(wait_nr=1)
+        return cqes
+
+    cqes = kernel.run_syscall(workload())
+    assert cqes[0].result.hops == 1
+    assert len(cqes[0].result.data) == 4096
+
+
+# ---------------------------------------------------------------------------
+# Uninstall / refresh ioctls
+# ---------------------------------------------------------------------------
+
+
+def test_uninstall_restores_plain_reads():
+    sim, kernel, bpf = make_list_machine()
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+
+    def workload():
+        yield from bpf.uninstall(proc, fd)
+        result = yield from kernel.sys_pread(proc, fd, 0, 4096, tagged=True)
+        return result
+
+    result = kernel.run_syscall(workload())
+    assert result.hops == 1  # tag ignored without an installation
+    assert proc.file(fd).bpf_install is None

@@ -1,0 +1,252 @@
+"""Unit tests for the extent cache, accounting, hooks layout, and install."""
+
+import pytest
+
+from repro.core import (
+    ChainAccounting,
+    Hook,
+    NvmeExtentCache,
+    storage_ctx_layout,
+    storage_helpers,
+)
+from repro.core.extent_cache import Translation
+from repro.core.install import BpfInstallation
+from repro.device import BlockDevice
+from repro.ebpf import Program, assemble, verify
+from repro.ebpf.vm import VmEnvironment
+from repro.errors import InvalidArgument, VerifierError
+from repro.kernel.extfs import BLOCK_SIZE, ExtFs
+
+
+def make_fs(blocks=64, **kwargs):
+    return ExtFs(BlockDevice(blocks * 8), **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# NvmeExtentCache
+# ---------------------------------------------------------------------------
+
+
+def test_cache_translate_ok():
+    fs = make_fs()
+    inode = fs.create("/f")
+    fs.write_sync(inode, 0, b"x" * (4 * BLOCK_SIZE))
+    cache = NvmeExtentCache(fs)
+    entry = cache.install(inode)
+    translation = entry.translate(BLOCK_SIZE, 512)
+    assert translation.status == Translation.OK
+    assert translation.sectors == 1
+    assert translation.lba == inode.extents.lookup(1) * 8
+
+
+def test_cache_translate_sub_block_offset():
+    fs = make_fs()
+    inode = fs.create("/f")
+    fs.write_sync(inode, 0, b"x" * BLOCK_SIZE)
+    cache = NvmeExtentCache(fs)
+    entry = cache.install(inode)
+    translation = entry.translate(1024, 512)
+    assert translation.status == Translation.OK
+    assert translation.lba == inode.extents.lookup(0) * 8 + 2
+
+
+def test_cache_translate_miss_beyond_snapshot():
+    fs = make_fs()
+    inode = fs.create("/f")
+    fs.write_sync(inode, 0, b"x" * BLOCK_SIZE)
+    cache = NvmeExtentCache(fs)
+    entry = cache.install(inode)
+    # Grow after install: new blocks are not in the snapshot.
+    fs.write_sync(inode, BLOCK_SIZE, b"y" * BLOCK_SIZE)
+    assert entry.valid  # growth does not invalidate...
+    translation = entry.translate(BLOCK_SIZE, 512)
+    assert translation.status == Translation.MISS  # ...but misses
+
+
+def test_cache_translate_split_across_extents():
+    fs = make_fs(max_extent_blocks=1)
+    inode = fs.create("/f")
+    fs.write_sync(inode, 0, b"x" * (2 * BLOCK_SIZE))
+    assert fs.fragmentation_of(inode) == 2
+    cache = NvmeExtentCache(fs)
+    entry = cache.install(inode)
+    translation = entry.translate(0, 2 * BLOCK_SIZE)
+    assert translation.status == Translation.SPLIT
+
+
+def test_cache_translate_unaligned_misses():
+    fs = make_fs()
+    inode = fs.create("/f")
+    fs.write_sync(inode, 0, b"x" * BLOCK_SIZE)
+    entry = NvmeExtentCache(fs).install(inode)
+    assert entry.translate(100, 512).status == Translation.MISS
+    assert entry.translate(0, 100).status == Translation.MISS
+
+
+def test_cache_invalidated_on_unmap_only():
+    fs = make_fs()
+    inode = fs.create("/f")
+    fs.write_sync(inode, 0, b"x" * (4 * BLOCK_SIZE))
+    cache = NvmeExtentCache(fs)
+    entry = cache.install(inode)
+    fs.write_sync(inode, 10 * BLOCK_SIZE, b"y" * BLOCK_SIZE)  # grow
+    assert entry.valid
+    fs.punch_range(inode, 0, BLOCK_SIZE)  # unmap
+    assert not entry.valid
+    assert cache.invalidations == 1
+
+
+def test_cache_other_inode_unmap_does_not_invalidate():
+    fs = make_fs()
+    a = fs.create("/a")
+    b = fs.create("/b")
+    fs.write_sync(a, 0, b"x" * BLOCK_SIZE)
+    fs.write_sync(b, 0, b"y" * BLOCK_SIZE)
+    cache = NvmeExtentCache(fs)
+    entry = cache.install(a)
+    fs.punch_range(b, 0, BLOCK_SIZE)
+    assert entry.valid
+
+
+def test_cache_reinstall_revalidates():
+    fs = make_fs()
+    inode = fs.create("/f")
+    fs.write_sync(inode, 0, b"x" * (2 * BLOCK_SIZE))
+    cache = NvmeExtentCache(fs)
+    first = cache.install(inode)
+    fs.punch_range(inode, BLOCK_SIZE, BLOCK_SIZE)
+    assert not first.valid
+    second = cache.install(inode)
+    assert second.valid
+    assert second.epoch > first.epoch
+    assert cache.entry(inode) is second
+
+
+# ---------------------------------------------------------------------------
+# ChainAccounting
+# ---------------------------------------------------------------------------
+
+
+def test_accounting_bound():
+    acct = ChainAccounting(max_chain_hops=3)
+    assert acct.may_resubmit(1, 2)
+    assert not acct.may_resubmit(1, 3)
+    assert acct.budget_remaining(1) == 2
+    assert acct.budget_remaining(5) == 0
+
+
+def test_accounting_charge_and_drain():
+    acct = ChainAccounting()
+    for _ in range(4):
+        acct.charge(7)
+    acct.charge(9)
+    assert acct.pending(7) == 4
+    assert acct.drain_to_bio() == {7: 4, 9: 1}
+    assert acct.pending(7) == 0
+    assert acct.totals == {7: 4, 9: 1}
+
+
+def test_accounting_rejects_bad_bound():
+    with pytest.raises(InvalidArgument):
+        ChainAccounting(max_chain_hops=0)
+
+
+# ---------------------------------------------------------------------------
+# Storage ctx layout + helpers
+# ---------------------------------------------------------------------------
+
+
+def test_storage_layout_offsets():
+    layout = storage_ctx_layout(4096, 256)
+    assert layout.offset_of("data") == 0
+    assert layout.offset_of("action") == 72
+    assert layout.offset_of("next_offset") == 80
+    assert layout.size == 104
+    assert layout.by_name["data"].region_size == 4096
+    assert layout.by_name["scratch"].writable
+
+
+def test_storage_helpers_include_base_and_extras():
+    helpers = storage_helpers()
+    names = helpers.names()
+    assert "map_lookup" in names
+    assert "get_chain_budget" in names
+    assert "trace_offset" in names
+
+
+def test_chain_budget_helper_reads_vm_attribute():
+    helpers = storage_helpers()
+    layout = storage_ctx_layout()
+    source = """
+        mov   r6, r1
+        call  get_chain_budget
+        stxdw [r6+88], r0
+        mov   r0, 0
+        exit
+    """
+    program = Program(assemble(source, helpers.names()), layout)
+    verify(program, helpers)
+    from repro.ebpf.vm import Vm
+
+    vm = Vm(program, VmEnvironment(helpers))
+    vm.chain_budget = 17
+    ctx = bytearray(layout.size)
+    vm.run(ctx, {"data": bytearray(4096), "scratch": bytearray(256)})
+    assert int.from_bytes(ctx[88:96], "little") == 17
+
+
+# ---------------------------------------------------------------------------
+# BpfInstallation validation
+# ---------------------------------------------------------------------------
+
+
+def _verified_noop(block_size=4096, scratch_size=256):
+    helpers = storage_helpers()
+    program = Program(assemble("mov r0, 0\nexit"),
+                      storage_ctx_layout(block_size, scratch_size))
+    verify(program, helpers)
+    return program, helpers
+
+
+def test_install_requires_verified_program():
+    helpers = storage_helpers()
+    program = Program(assemble("mov r0, 0\nexit"), storage_ctx_layout())
+    with pytest.raises(VerifierError):
+        BpfInstallation(program, Hook.NVME, 4096, 256,
+                        VmEnvironment(helpers))
+
+
+def test_install_validates_block_size():
+    program, helpers = _verified_noop()
+    with pytest.raises(InvalidArgument):
+        BpfInstallation(program, Hook.NVME, 1000, 256,
+                        VmEnvironment(helpers))
+
+
+def test_install_validates_layout_block_match():
+    program, helpers = _verified_noop(block_size=4096)
+    with pytest.raises(InvalidArgument, match="block"):
+        BpfInstallation(program, Hook.NVME, 8192, 256,
+                        VmEnvironment(helpers))
+
+
+def test_install_validates_scratch_match():
+    program, helpers = _verified_noop(scratch_size=128)
+    with pytest.raises(InvalidArgument, match="scratch"):
+        BpfInstallation(program, Hook.NVME, 4096, 256,
+                        VmEnvironment(helpers))
+
+
+def test_install_pads_default_args():
+    program, helpers = _verified_noop()
+    install = BpfInstallation(program, Hook.NVME, 4096, 256,
+                              VmEnvironment(helpers), default_args=(1, 2))
+    assert install.default_args == (1, 2, 0, 0)
+    assert install.hook_kind == "nvme"
+
+
+def test_install_rejects_too_many_args():
+    program, helpers = _verified_noop()
+    with pytest.raises(InvalidArgument):
+        BpfInstallation(program, Hook.NVME, 4096, 256,
+                        VmEnvironment(helpers), default_args=(1, 2, 3, 4, 5))

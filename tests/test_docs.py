@@ -1,0 +1,60 @@
+"""Documentation guards: the README's code must actually run, and the
+documented repo structure must exist."""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).parent.parent
+
+
+def test_readme_quickstart_snippet_executes():
+    readme = (REPO / "README.md").read_text()
+    blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+    assert blocks, "README lost its quickstart snippet"
+    namespace = {}
+    exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+    result = namespace["result"]
+    assert result.value == 12340
+
+
+def test_documented_benchmarks_exist():
+    design = (REPO / "DESIGN.md").read_text()
+    for match in re.finditer(r"`benchmarks/(bench_\w+\.py)`", design):
+        assert (REPO / "benchmarks" / match.group(1)).exists(), \
+            match.group(1)
+
+
+def test_every_benchmark_is_indexed_in_design():
+    design = (REPO / "DESIGN.md").read_text()
+    for path in (REPO / "benchmarks").glob("bench_*.py"):
+        assert path.name in design, f"{path.name} missing from DESIGN.md"
+
+
+def test_examples_documented_in_readme_exist():
+    for path in (REPO / "examples").glob("*.py"):
+        assert path.stat().st_size > 0
+    names = {path.name for path in (REPO / "examples").glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 5
+
+
+def test_experiments_doc_mentions_every_figure():
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    for item in ("Figure 1", "Table 1", "Figure 3a", "Figure 3b",
+                 "Figure 3c", "Figure 3d", "extent stability"):
+        assert item.lower() in experiments.lower(), item
+
+
+def test_all_public_modules_have_docstrings():
+    import importlib
+    import pkgutil
+
+    import repro
+
+    missing = []
+    for module_info in pkgutil.walk_packages(repro.__path__,
+                                             prefix="repro."):
+        module = importlib.import_module(module_info.name)
+        if not (module.__doc__ or "").strip():
+            missing.append(module_info.name)
+    assert not missing, f"modules without docstrings: {missing}"

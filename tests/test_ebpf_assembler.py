@@ -1,0 +1,129 @@
+"""Unit tests for the textual assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.ebpf import assemble
+from repro.ebpf.isa import Instruction
+
+
+def test_mov_imm_and_reg():
+    insns = assemble("mov r1, 42\nmov r2, r1\nexit")
+    assert insns[0] == Instruction("mov", dst=1, imm=42)
+    assert insns[1] == Instruction("mov", dst=2, src=1, src_is_reg=True)
+    assert insns[2] == Instruction("exit")
+
+
+def test_hex_and_negative_immediates():
+    insns = assemble("mov r1, 0xff\nadd r1, -7\nexit")
+    assert insns[0].imm == 255
+    assert insns[1].imm == -7
+
+
+def test_comments_and_blank_lines_ignored():
+    insns = assemble(
+        """
+        ; full line comment
+        mov r1, 1   ; trailing
+        # hash comment
+        exit
+        """
+    )
+    assert len(insns) == 2
+
+
+def test_memory_operands():
+    insns = assemble(
+        """
+        ldxw  r2, [r1+16]
+        ldxdw r3, [r10-8]
+        stxb  [r2+0], r3
+        stw   [r10-4], 9
+        exit
+        """
+    )
+    assert insns[0] == Instruction("ldxw", dst=2, src=1, offset=16)
+    assert insns[1] == Instruction("ldxdw", dst=3, src=10, offset=-8)
+    assert insns[2] == Instruction("stxb", dst=2, src=3, offset=0)
+    assert insns[3] == Instruction("stw", dst=10, offset=-4, imm=9)
+
+
+def test_labels_forward_and_backward():
+    insns = assemble(
+        """
+        start:
+            jeq r1, 0, done
+            sub r1, 1
+            ja  start
+        done:
+            exit
+        """
+    )
+    # jeq at pc 0 -> done at pc 3: offset 2
+    assert insns[0].offset == 2
+    # ja at pc 2 -> start at pc 0: offset -3
+    assert insns[2].offset == -3
+
+
+def test_alu32_suffix():
+    insns = assemble("add32 r1, 5\nexit")
+    assert insns[0].opcode == "add32"
+
+
+def test_lddw_wide_immediate():
+    insns = assemble("lddw r1, 0x1122334455667788\nexit")
+    assert insns[0] == Instruction("lddw", dst=1, imm=0x1122334455667788)
+
+
+def test_call_by_name_and_number():
+    insns = assemble("call trace\ncall 7\nexit", helpers={"trace": 1})
+    assert insns[0] == Instruction("call", imm=1)
+    assert insns[1] == Instruction("call", imm=7)
+
+
+def test_unknown_helper_rejected():
+    with pytest.raises(AssemblerError, match="unknown helper"):
+        assemble("call nosuch\nexit")
+
+
+def test_unknown_label_rejected():
+    with pytest.raises(AssemblerError, match="unknown label"):
+        assemble("ja nowhere\nexit")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble("x:\nmov r0, 0\nx:\nexit")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("frob r1, r2\nexit")
+
+
+def test_bad_register_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("mov r11, 0\nexit")
+
+
+def test_bad_operand_count_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("mov r1\nexit")
+    with pytest.raises(AssemblerError):
+        assemble("exit r1")
+
+
+def test_empty_source_rejected():
+    with pytest.raises(AssemblerError, match="no instructions"):
+        assemble("; nothing here")
+
+
+def test_neg_single_operand():
+    insns = assemble("neg r3\nexit")
+    assert insns[0] == Instruction("neg", dst=3)
+
+
+def test_jump_with_register_comparand():
+    insns = assemble("loop:\njlt r1, r2, loop\nexit")
+    assert insns[0].src_is_reg
+    assert insns[0].offset == -1

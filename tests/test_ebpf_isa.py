@@ -1,0 +1,130 @@
+"""Unit tests for the instruction set and the binary encoder/decoder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AssemblerError
+from repro.ebpf.isa import Instruction, decode, encode
+
+
+def test_instruction_validates_registers():
+    with pytest.raises(AssemblerError):
+        Instruction("mov", dst=11)
+    with pytest.raises(AssemblerError):
+        Instruction("mov", dst=0, src=12)
+
+
+def test_instruction_validates_offset_range():
+    with pytest.raises(AssemblerError):
+        Instruction("jeq", dst=0, offset=2**15)
+    Instruction("jeq", dst=0, offset=2**15 - 1)  # max ok
+
+
+def test_instruction_validates_imm_range():
+    with pytest.raises(AssemblerError):
+        Instruction("mov", dst=0, imm=2**32)
+    Instruction("lddw", dst=0, imm=2**63)  # 64-bit ok for lddw
+    with pytest.raises(AssemblerError):
+        Instruction("lddw", dst=0, imm=2**64)
+
+
+def test_encode_lddw_uses_two_slots():
+    blob = encode([Instruction("lddw", dst=3, imm=0x1122334455667788)])
+    assert len(blob) == 16
+    decoded = decode(blob)
+    assert decoded == [Instruction("lddw", dst=3, imm=0x1122334455667788)]
+
+
+def test_encode_decode_exit():
+    assert decode(encode([Instruction("exit")])) == [Instruction("exit")]
+
+
+def test_decode_rejects_ragged_input():
+    with pytest.raises(AssemblerError):
+        decode(b"\x00" * 7)
+
+
+def test_decode_rejects_truncated_lddw():
+    blob = encode([Instruction("lddw", dst=0, imm=1)])
+    with pytest.raises(AssemblerError):
+        decode(blob[:8])
+
+
+_SAMPLE_INSNS = [
+    Instruction("mov", dst=1, imm=42),
+    Instruction("mov", dst=2, src=1, src_is_reg=True),
+    Instruction("add", dst=1, imm=-5),
+    Instruction("add32", dst=1, src=2, src_is_reg=True),
+    Instruction("neg", dst=3),
+    Instruction("arsh", dst=4, imm=3),
+    Instruction("lddw", dst=5, imm=2**40),
+    Instruction("ldxb", dst=1, src=2, offset=10),
+    Instruction("ldxdw", dst=1, src=10, offset=-8),
+    Instruction("stxw", dst=10, src=3, offset=-16),
+    Instruction("sth", dst=10, offset=-4, imm=7),
+    Instruction("jeq", dst=1, imm=0, offset=2),
+    Instruction("jsgt", dst=1, src=2, offset=-3, src_is_reg=True),
+    Instruction("jset", dst=4, imm=0xFF, offset=1),
+    Instruction("ja", offset=5),
+    Instruction("call", imm=2),
+    Instruction("exit"),
+]
+
+
+def test_roundtrip_sample_program():
+    assert decode(encode(_SAMPLE_INSNS)) == _SAMPLE_INSNS
+
+
+_alu_ops = st.sampled_from(
+    ["add", "sub", "mul", "div", "mod", "or", "and", "xor", "lsh", "rsh",
+     "arsh", "mov"]
+)
+_regs = st.integers(min_value=0, max_value=10)
+_imms = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+_offsets = st.integers(min_value=-(2**15), max_value=2**15 - 1)
+
+
+@st.composite
+def _instructions(draw):
+    form = draw(st.sampled_from(["alu", "alu32", "jmp", "ldx", "stx", "st",
+                                 "lddw", "call", "exit", "ja"]))
+    if form in ("alu", "alu32"):
+        op = draw(_alu_ops) + ("32" if form == "alu32" else "")
+        if draw(st.booleans()):
+            return Instruction(op, dst=draw(_regs), src=draw(_regs),
+                               src_is_reg=True)
+        return Instruction(op, dst=draw(_regs), imm=draw(_imms))
+    if form == "jmp":
+        op = draw(st.sampled_from(["jeq", "jne", "jgt", "jge", "jlt", "jle",
+                                   "jsgt", "jsge", "jslt", "jsle", "jset"]))
+        if draw(st.booleans()):
+            return Instruction(op, dst=draw(_regs), src=draw(_regs),
+                               offset=draw(_offsets), src_is_reg=True)
+        return Instruction(op, dst=draw(_regs), imm=draw(_imms),
+                           offset=draw(_offsets))
+    if form in ("ldx", "stx", "st"):
+        size = draw(st.sampled_from(["b", "h", "w", "dw"]))
+        if form == "ldx":
+            return Instruction(f"ldx{size}", dst=draw(_regs), src=draw(_regs),
+                               offset=draw(_offsets))
+        if form == "stx":
+            return Instruction(f"stx{size}", dst=draw(_regs), src=draw(_regs),
+                               offset=draw(_offsets))
+        return Instruction(f"st{size}", dst=draw(_regs),
+                           offset=draw(_offsets), imm=draw(_imms))
+    if form == "lddw":
+        return Instruction("lddw", dst=draw(_regs),
+                           imm=draw(st.integers(min_value=0,
+                                                max_value=2**64 - 1)))
+    if form == "call":
+        return Instruction("call", imm=draw(st.integers(min_value=0,
+                                                        max_value=1000)))
+    if form == "ja":
+        return Instruction("ja", offset=draw(_offsets))
+    return Instruction("exit")
+
+
+@given(st.lists(_instructions(), min_size=1, max_size=40))
+def test_roundtrip_property(instructions):
+    assert decode(encode(instructions)) == instructions

@@ -1,0 +1,97 @@
+"""Unit and property tests for BPF maps."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidArgument
+from repro.ebpf import ArrayMap, HashMap
+
+
+def test_hash_map_basic_cycle():
+    m = HashMap(key_size=4, value_size=8, max_entries=4)
+    key = b"\x01\x02\x03\x04"
+    assert m.lookup(key) is None
+    m.update(key, b"\x00" * 8)
+    assert m.lookup(key) == bytearray(8)
+    assert m.delete(key)
+    assert not m.delete(key)
+    assert m.lookup(key) is None
+
+
+def test_hash_map_value_buffer_is_live():
+    m = HashMap(4, 8, 4)
+    m.update(b"AAAA", b"\x00" * 8)
+    buf = m.lookup(b"AAAA")
+    buf[0] = 0xFF
+    assert m.lookup(b"AAAA")[0] == 0xFF
+
+
+def test_hash_map_key_size_enforced():
+    m = HashMap(4, 8, 4)
+    with pytest.raises(InvalidArgument):
+        m.lookup(b"AB")
+    with pytest.raises(InvalidArgument):
+        m.update(b"ABCDE", b"\x00" * 8)
+
+
+def test_hash_map_value_size_enforced():
+    m = HashMap(4, 8, 4)
+    with pytest.raises(InvalidArgument):
+        m.update(b"AAAA", b"\x00" * 7)
+
+
+def test_hash_map_capacity_enforced():
+    m = HashMap(4, 8, 2)
+    m.update(b"AAAA", b"\x00" * 8)
+    m.update(b"BBBB", b"\x00" * 8)
+    with pytest.raises(InvalidArgument, match="full"):
+        m.update(b"CCCC", b"\x00" * 8)
+    # Updating an existing key is always allowed.
+    m.update(b"AAAA", b"\x01" * 8)
+
+
+def test_array_map_index_semantics():
+    m = ArrayMap(value_size=8, max_entries=4)
+    assert m.lookup((3).to_bytes(4, "little")) == bytearray(8)
+    assert m.lookup((4).to_bytes(4, "little")) is None
+    m.update((2).to_bytes(4, "little"), (99).to_bytes(8, "little"))
+    assert int.from_bytes(m.lookup_index(2), "little") == 99
+
+
+def test_array_map_delete_zeroes():
+    m = ArrayMap(value_size=8, max_entries=4)
+    m.update((1).to_bytes(4, "little"), (7).to_bytes(8, "little"))
+    assert m.delete((1).to_bytes(4, "little"))
+    assert m.lookup_index(1) == bytearray(8)
+    assert not m.delete((9).to_bytes(4, "little"))
+
+
+def test_array_map_out_of_range_update():
+    m = ArrayMap(value_size=8, max_entries=4)
+    with pytest.raises(InvalidArgument):
+        m.update((4).to_bytes(4, "little"), b"\x00" * 8)
+
+
+def test_bad_sizes_rejected():
+    with pytest.raises(InvalidArgument):
+        HashMap(0, 8, 4)
+    with pytest.raises(InvalidArgument):
+        ArrayMap(value_size=8, max_entries=0)
+
+
+@given(
+    st.dictionaries(
+        st.binary(min_size=4, max_size=4),
+        st.binary(min_size=8, max_size=8),
+        max_size=32,
+    )
+)
+def test_hash_map_matches_dict_reference(entries):
+    m = HashMap(4, 8, 64)
+    for key, value in entries.items():
+        m.update(key, value)
+    assert len(m) == len(entries)
+    for key, value in entries.items():
+        assert bytes(m.lookup(key)) == value
+    assert sorted(m.keys()) == sorted(entries.keys())

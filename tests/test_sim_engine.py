@@ -1,0 +1,242 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.engine import AllOf, AnyOf
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(100)
+        yield sim.timeout(250)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 350
+    assert sim.now == 350
+
+
+def test_zero_timeout_is_allowed():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(0)
+        return "ok"
+
+    assert sim.run_process(proc(sim)) == "ok"
+    assert sim.now == 0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(10)
+        order.append(tag)
+
+    sim.spawn(proc(sim, "a"))
+    sim.spawn(proc(sim, "b"))
+    sim.spawn(proc(sim, "c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(5)
+        return 42
+
+    def parent(sim):
+        result = yield sim.spawn(child(sim))
+        return result + 1
+
+    assert sim.run_process(parent(sim)) == 43
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    def parent(sim):
+        try:
+            yield sim.spawn(child(sim))
+        except ValueError as exc:
+            return str(exc)
+        return "no exception"
+
+    assert sim.run_process(parent(sim)) == "boom"
+
+
+def test_unwaited_process_crash_raises():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+        raise RuntimeError("unhandled")
+
+    sim.spawn(child(sim))
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_suppress_crashes_flag():
+    sim = Simulator(suppress_crashes=True)
+
+    def child(sim):
+        yield sim.timeout(1)
+        raise RuntimeError("suppressed")
+
+    proc = sim.spawn(child(sim))
+    sim.run()
+    assert proc.triggered
+    assert isinstance(proc.exception, RuntimeError)
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter(sim):
+        value = yield gate
+        return value
+
+    def opener(sim):
+        yield sim.timeout(77)
+        gate.succeed("open")
+
+    proc = sim.spawn(waiter(sim))
+    sim.spawn(opener(sim))
+    sim.run()
+    assert proc.value == "open"
+    assert sim.now == 77
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_yield_non_event_rejected():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 123
+
+    sim.spawn(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1000)
+
+    sim.spawn(proc(sim))
+    sim.run(until=400)
+    assert sim.now == 400
+    sim.run()
+    assert sim.now == 1000
+
+
+def test_run_until_beyond_queue_sets_clock():
+    sim = Simulator()
+    sim.run(until=5000)
+    assert sim.now == 5000
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+
+    def child(sim, delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    def parent(sim):
+        procs = [sim.spawn(child(sim, d, v)) for d, v in [(30, "x"), (10, "y")]]
+        values = yield AllOf(sim, procs)
+        return values
+
+    assert sim.run_process(parent(sim)) == ["x", "y"]
+    assert sim.now == 30
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def parent(sim):
+        values = yield AllOf(sim, [])
+        return values
+
+    assert sim.run_process(parent(sim)) == []
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def child(sim, delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    def parent(sim):
+        procs = [sim.spawn(child(sim, d, v)) for d, v in [(30, "slow"), (10, "fast")]]
+        index, value = yield AnyOf(sim, procs)
+        return index, value
+
+    index, value = sim.run_process(parent(sim))
+    assert (index, value) == (1, "fast")
+    # The slow child still drains afterwards; the clock ends at its finish.
+    assert sim.now == 30
+
+
+def test_nested_processes_share_clock():
+    sim = Simulator()
+
+    def inner(sim):
+        yield sim.timeout(10)
+        return sim.now
+
+    def outer(sim):
+        yield sim.timeout(5)
+        inner_done = yield sim.spawn(inner(sim))
+        return inner_done, sim.now
+
+    assert sim.run_process(outer(sim)) == (15, 15)
+
+
+def test_immediate_event_resumes_without_time_passing():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed("early")
+
+    def proc(sim):
+        value = yield gate
+        return value, sim.now
+
+    assert sim.run_process(proc(sim)) == ("early", 0)

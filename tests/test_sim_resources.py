@@ -1,0 +1,202 @@
+"""Unit tests for resources, CPU sets, and stores."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import CpuSet, Resource, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    completion_times = []
+
+    def worker(sim):
+        yield from res.execute(100)
+        completion_times.append(sim.now)
+
+    for _ in range(4):
+        sim.spawn(worker(sim))
+    sim.run()
+    # Two run in parallel, then the next two.
+    assert completion_times == [100, 100, 200, 200]
+
+
+def test_resource_priority_orders_waiters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder(sim):
+        yield from res.execute(50)
+
+    def worker(sim, tag, priority):
+        yield sim.timeout(1)  # let the holder grab the slot first
+        yield from res.execute(10, priority=priority)
+        order.append(tag)
+
+    sim.spawn(holder(sim))
+    sim.spawn(worker(sim, "low", priority=10))
+    sim.spawn(worker(sim, "high", priority=0))
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_resource_fifo_within_priority():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder(sim):
+        yield from res.execute(50)
+
+    def worker(sim, tag):
+        yield sim.timeout(1)
+        yield from res.execute(10, priority=5)
+        order.append(tag)
+
+    sim.spawn(holder(sim))
+    for tag in ["a", "b", "c"]:
+        sim.spawn(worker(sim, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_release_ungranted_request_rejected():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    first = res.request()
+    second = res.request()  # queued, not granted
+    sim.run()
+    assert first.granted
+    with pytest.raises(SimulationError):
+        res.release(second)
+
+
+def test_zero_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_busy_time_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+
+    def worker(sim, cost):
+        yield from res.execute(cost)
+
+    sim.spawn(worker(sim, 100))
+    sim.spawn(worker(sim, 300))
+    sim.run()
+    assert res.busy_time() == 400
+    assert sim.now == 300
+
+
+def test_cpuset_utilisation():
+    sim = Simulator()
+    cpu = CpuSet(sim, cores=2)
+
+    def worker(sim):
+        yield from cpu.run_thread(100)
+
+    sim.spawn(worker(sim))
+    sim.run()
+    assert sim.now == 100
+    assert cpu.utilisation() == pytest.approx(0.5)
+
+
+def test_cpuset_irq_preempts_queued_threads():
+    sim = Simulator()
+    cpu = CpuSet(sim, cores=1)
+    order = []
+
+    def thread(sim, tag):
+        yield sim.timeout(1)
+        yield from cpu.run_thread(10)
+        order.append(tag)
+
+    def irq(sim):
+        yield sim.timeout(2)
+        yield from cpu.run_irq(1)
+        order.append("irq")
+
+    def holder(sim):
+        yield from cpu.run_thread(20)
+
+    sim.spawn(holder(sim))
+    sim.spawn(thread(sim, "t1"))
+    sim.spawn(irq(sim))
+    sim.run()
+    assert order[0] == "irq"
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    def producer(sim):
+        for item in [1, 2, 3]:
+            yield sim.timeout(10)
+            store.put(item)
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert received == [1, 2, 3]
+
+
+def test_store_get_before_put_blocks():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer(sim):
+        item = yield store.get()
+        return item, sim.now
+
+    def producer(sim):
+        yield sim.timeout(500)
+        store.put("late")
+
+    proc = sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert proc.value == ("late", 500)
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put("x")
+    assert len(store) == 1
+    assert store.try_get() == "x"
+    assert store.try_get() is None
+
+
+def test_store_multiple_waiters_served_in_order():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def consumer(sim, tag):
+        item = yield store.get()
+        received.append((tag, item))
+
+    sim.spawn(consumer(sim, "first"))
+    sim.spawn(consumer(sim, "second"))
+
+    def producer(sim):
+        yield sim.timeout(1)
+        store.put("a")
+        store.put("b")
+
+    sim.spawn(producer(sim))
+    sim.run()
+    assert received == [("first", "a"), ("second", "b")]

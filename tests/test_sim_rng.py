@@ -1,0 +1,36 @@
+"""Unit tests for deterministic random streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_sequence():
+    a = RandomStreams(seed=7).stream("device")
+    b = RandomStreams(seed=7).stream("device")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_decorrelated():
+    streams = RandomStreams(seed=7)
+    a = [streams.stream("device").random() for _ in range(5)]
+    b = [streams.stream("workload").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).stream("x").random()
+    b = RandomStreams(seed=2).stream("x").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(seed=0)
+    assert streams.stream("s") is streams.stream("s")
+
+
+def test_fork_is_deterministic_and_independent():
+    parent = RandomStreams(seed=3)
+    fork_a = parent.fork("thread-0")
+    fork_b = parent.fork("thread-1")
+    again = RandomStreams(seed=3).fork("thread-0")
+    assert fork_a.stream("w").random() == again.stream("w").random()
+    assert fork_a.seed != fork_b.seed

@@ -1,0 +1,260 @@
+"""Tests for bloom filters, SSTables, the LSM tree, and the KV facade."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import BlockDevice
+from repro.errors import InvalidArgument
+from repro.kernel.extfs import ExtFs
+from repro.structures import KvStore, LsmTree, MemoryBackend, SsTable
+from repro.structures.lsm import TOMBSTONE, BloomFilter
+
+
+def make_fs(blocks=4096):
+    return ExtFs(BlockDevice(blocks * 8))
+
+
+# ---------------------------------------------------------------------------
+# Bloom filter
+# ---------------------------------------------------------------------------
+
+
+def test_bloom_no_false_negatives():
+    bloom = BloomFilter.for_entries(1000)
+    keys = [k * 7 + 1 for k in range(1000)]
+    for key in keys:
+        bloom.add(key)
+    assert all(bloom.may_contain(key) for key in keys)
+
+
+def test_bloom_false_positive_rate_reasonable():
+    bloom = BloomFilter.for_entries(1000)
+    for key in range(1000):
+        bloom.add(key)
+    false_positives = sum(
+        bloom.may_contain(key) for key in range(10_000, 20_000))
+    assert false_positives < 500  # ~1% expected at 10 bits/key
+
+
+def test_bloom_serialisation():
+    bloom = BloomFilter(256, 5)
+    bloom.add(42)
+    restored = BloomFilter.from_bytes(bloom.to_bytes(), 256, 5)
+    assert restored.may_contain(42)
+    assert not restored.may_contain(43)
+
+
+def test_bloom_validation():
+    with pytest.raises(InvalidArgument):
+        BloomFilter(4)
+
+
+# ---------------------------------------------------------------------------
+# SSTable
+# ---------------------------------------------------------------------------
+
+
+def test_sstable_build_and_get():
+    items = [(i * 3, i * 10) for i in range(1000)]
+    table = SsTable.build(MemoryBackend(), items)
+    assert table.num_entries == 1000
+    assert (table.min_key, table.max_key) == (0, 999 * 3)
+    for key, value in items[::37]:
+        assert table.get(key) == value
+    assert table.get(1) is None
+    assert table.get(10**9) is None
+
+
+def test_sstable_get_traced_is_three_hops():
+    items = [(i, i) for i in range(600)]
+    table = SsTable.build(MemoryBackend(), items)
+    value, visited = table.get_traced(599)
+    assert value == 599
+    assert len(visited) == 3  # root index -> index -> data
+
+
+def test_sstable_may_contain_uses_range_and_bloom():
+    items = [(i * 2, i) for i in range(100, 200)]
+    table = SsTable.build(MemoryBackend(), items)
+    assert not table.may_contain(0)      # below range
+    assert not table.may_contain(10**6)  # above range
+    assert table.may_contain(200)        # in range and inserted
+
+
+def test_sstable_entries_iterates_in_order():
+    items = [(i * 5, i) for i in range(700)]
+    table = SsTable.build(MemoryBackend(), items)
+    assert list(table.entries()) == items
+
+
+def test_sstable_rejects_bad_builds():
+    with pytest.raises(InvalidArgument):
+        SsTable.build(MemoryBackend(), [])
+    with pytest.raises(InvalidArgument):
+        SsTable.build(MemoryBackend(), [(2, 0), (1, 0)])
+
+
+def test_sstable_reopen():
+    backend = MemoryBackend()
+    SsTable.build(backend, [(1, 10), (2, 20)])
+    table = SsTable(backend)
+    assert table.get(2) == 20
+
+
+# ---------------------------------------------------------------------------
+# LSM tree
+# ---------------------------------------------------------------------------
+
+
+def test_lsm_put_get_through_memtable():
+    lsm = LsmTree(make_fs(), "/db", memtable_limit=100)
+    lsm.put(1, 10)
+    assert lsm.get(1) == 10
+    assert lsm.get(2) is None
+
+
+def test_lsm_flush_on_threshold():
+    lsm = LsmTree(make_fs(), "/db", memtable_limit=10)
+    for key in range(10):
+        lsm.put(key, key)
+    assert lsm.flushes == 1
+    assert len(lsm.memtable) == 0
+    for key in range(10):
+        assert lsm.get(key) == key
+
+
+def test_lsm_reads_prefer_newer_values():
+    lsm = LsmTree(make_fs(), "/db", memtable_limit=4)
+    for round_number in range(3):
+        for key in range(4):
+            lsm.put(key, key + 100 * round_number)
+    for key in range(4):
+        assert lsm.get(key) == key + 200
+
+
+def test_lsm_delete_tombstones():
+    lsm = LsmTree(make_fs(), "/db", memtable_limit=4)
+    for key in range(4):
+        lsm.put(key, key)          # flushed to disk
+    lsm.delete(2)
+    assert lsm.get(2) is None
+    assert lsm.get(1) == 1
+
+
+def test_lsm_tombstone_value_rejected():
+    lsm = LsmTree(make_fs(), "/db")
+    with pytest.raises(InvalidArgument):
+        lsm.put(1, TOMBSTONE)
+
+
+def test_lsm_compaction_merges_and_unlinks():
+    fs = make_fs()
+    lsm = LsmTree(fs, "/db", memtable_limit=8, l0_limit=2)
+    for key in range(100):
+        lsm.put(key, key * 2)
+    lsm.flush()
+    assert lsm.compactions >= 1
+    assert lsm.tables_deleted >= 2
+    for key in range(100):
+        assert lsm.get(key) == key * 2
+    # Deleted table files are gone from the namespace.
+    live = fs.listdir("/db")
+    assert len(live) == lsm.table_count()
+
+
+def test_lsm_compaction_drops_tombstones_at_bottom():
+    lsm = LsmTree(make_fs(), "/db", memtable_limit=8, l0_limit=2)
+    for key in range(40):
+        lsm.put(key, key)
+    for key in range(0, 40, 2):
+        lsm.delete(key)
+    lsm.flush()
+    # Force full compaction to the bottom level.
+    while len(lsm.levels[0]) > 0:
+        lsm._compact(0)
+    for key in range(40):
+        expected = None if key % 2 == 0 else key
+        assert lsm.get(key) == expected
+
+
+def test_lsm_candidate_tables_newest_first():
+    lsm = LsmTree(make_fs(), "/db", memtable_limit=4, l0_limit=10)
+    for round_number in range(3):
+        for key in range(4):
+            lsm.put(key, round_number)
+    candidates = lsm.candidate_tables(0)
+    assert len(candidates) >= 2
+    # Newest table must come first so its value wins.
+    assert candidates[0][1].get(0) == 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 200),
+                          st.integers(0, 2**32),
+                          st.booleans()),
+                min_size=1, max_size=300))
+def test_lsm_matches_dict_reference(operations):
+    lsm = LsmTree(make_fs(), "/db", memtable_limit=16, l0_limit=2)
+    reference = {}
+    for key, value, is_delete in operations:
+        if is_delete:
+            lsm.delete(key)
+            reference.pop(key, None)
+        else:
+            lsm.put(key, value)
+            reference[key] = value
+    for key in range(0, 201, 7):
+        assert lsm.get(key) == reference.get(key)
+
+
+# ---------------------------------------------------------------------------
+# KvStore facade
+# ---------------------------------------------------------------------------
+
+
+def test_kvstore_btree_bulk_and_overlay():
+    store = KvStore(make_fs(), "/index", engine="btree", fanout=8)
+    store.bulk_load([(i, i) for i in range(100)])
+    assert store.get(50) == 50
+    store.put(50, 999)
+    store.delete(51)
+    assert store.get(50) == 999
+    assert store.get(51) is None
+    assert store.overlay_size == 2
+
+
+def test_kvstore_btree_rebuild_applies_overlay():
+    fs = make_fs()
+    store = KvStore(fs, "/index", engine="btree", fanout=8)
+    store.bulk_load([(i, i) for i in range(100)])
+    store.put(200, 42)
+    store.delete(3)
+    count = store.rebuild()
+    assert count == 100  # +1 insert, -1 delete
+    assert store.overlay_size == 0
+    assert store.get(200) == 42
+    assert store.get(3) is None
+    assert store.get(10) == 10
+
+
+def test_kvstore_btree_scan_merges_overlay():
+    store = KvStore(make_fs(), "/index", engine="btree", fanout=8)
+    store.bulk_load([(i, i) for i in range(10)])
+    store.put(5, 500)
+    store.delete(6)
+    assert store.scan(4, 8) == [(4, 4), (5, 500), (7, 7)]
+
+
+def test_kvstore_lsm_engine_delegates():
+    store = KvStore(make_fs(), "/db", engine="lsm", memtable_limit=8)
+    for key in range(20):
+        store.put(key, key)
+    store.delete(7)
+    assert store.get(7) is None
+    assert store.get(8) == 8
+
+
+def test_kvstore_validates_engine():
+    with pytest.raises(InvalidArgument):
+        KvStore(make_fs(), "/x", engine="hash")
