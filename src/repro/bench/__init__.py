@@ -26,7 +26,7 @@ from repro.bench.experiments import (
     table1_breakdown,
 )
 from repro.bench.runner import BtreeBench, run_closed_loop
-from repro.bench.tables import format_table
+from repro.bench.tables import format_table, rows_to_json
 
 __all__ = [
     "BtreeBench",
@@ -41,6 +41,7 @@ __all__ = [
     "fig3d_iouring",
     "format_table",
     "interference",
+    "rows_to_json",
     "run_closed_loop",
     "table1_breakdown",
 ]

@@ -15,6 +15,7 @@ from repro.core.library import index_traversal_program
 from repro.device import LatencyModel
 from repro.errors import InvalidArgument
 from repro.kernel import CostModel, Kernel, KernelConfig
+from repro.obs import events as obs_events
 from repro.sim import LatencyRecorder, RandomStreams, Simulator, ThroughputMeter
 from repro.structures import BTree, FsBackend
 from repro.structures.pages import PAGE_SIZE, search_page
@@ -124,6 +125,9 @@ class BtreeBench:
                                                      PAGE_SIZE)
                 # Application-side page parse + next-pointer computation.
                 yield from kernel.cpus.run_thread(user_ns)
+                if kernel.bus.enabled:
+                    kernel.bus.emit(obs_events.APP_PROCESS, kernel.sim.now,
+                                    cpu_ns=user_ns, path="normal")
                 _index, child = search_page(result.data, key)
                 if child is None:
                     return

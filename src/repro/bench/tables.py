@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Sequence
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "rows_to_json"]
 
 
 def _format_cell(value) -> str:
@@ -38,6 +39,17 @@ def format_table(title: str, columns: Sequence[str],
                                else cell.ljust(widths[i])
                                for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def rows_to_json(title: str, rows: List[Dict], indent: int = 2) -> str:
+    """Deterministic JSON for an experiment's result rows.
+
+    The structure mirrors what :func:`format_table` prints — a title plus
+    the row dicts verbatim — so scripted consumers (``--json`` mode, the
+    experiments-report generator) parse instead of scraping the table.
+    """
+    return json.dumps({"title": title, "rows": rows},
+                      indent=indent, sort_keys=True)
 
 
 def _is_numeric(cell: str) -> bool:

@@ -6,6 +6,11 @@ Commands:
   table (``--quick`` runs miniature versions in a few seconds).
 * ``experiment <name>`` — run one experiment (fig1, table1, fig3a, fig3b,
   fig3c, fig3d, stability, bound, churn, vmmode, appcache, interference).
+  ``--json`` prints the rows as JSON instead of a table; ``--trace-jsonl
+  PATH`` additionally records the full tracepoint stream to ``PATH``.
+* ``metrics <name>`` — run one experiment under the observability bus and
+  print per-layer CPU-ns attribution (reconciled against Table 1), the
+  chain-bypass summary, stack-health metrics, and exemplar span trees.
 * ``disasm <program>`` — print a library program's verified assembly
   (index, scan, linked, wisckey).
 * ``verify-demo`` — show the verifier accepting a safe program and
@@ -30,8 +35,10 @@ from repro.bench import (
     fig3d_iouring,
     format_table,
     interference,
+    rows_to_json,
     table1_breakdown,
 )
+from repro.obs import ObsSession
 
 __all__ = ["main"]
 
@@ -121,10 +128,39 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _touch(path: str) -> None:
+    """Fail fast on an unwritable trace path, before the experiment runs."""
+    with open(path, "w", encoding="utf-8"):
+        pass
+
+
 def _cmd_experiment(args) -> int:
     title, runner = _EXPERIMENTS[args.name]
-    rows = runner(args.quick)
-    print(format_table(title, _columns(rows), rows))
+    if args.trace_jsonl:
+        _touch(args.trace_jsonl)
+        with ObsSession(record_jsonl=True) as obs:
+            rows = runner(args.quick)
+        obs.write_trace_jsonl(args.trace_jsonl)
+    else:
+        rows = runner(args.quick)
+    if args.json:
+        print(rows_to_json(title, rows))
+    else:
+        print(format_table(title, _columns(rows), rows))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    title, runner = _EXPERIMENTS[args.name]
+    if args.trace_jsonl:
+        _touch(args.trace_jsonl)
+    with ObsSession(record_jsonl=bool(args.trace_jsonl)) as obs:
+        runner(args.quick)
+    if args.trace_jsonl:
+        obs.write_trace_jsonl(args.trace_jsonl)
+    print(f"{title} — observability report")
+    print()
+    print(obs.render_report())
     return 0
 
 
@@ -206,7 +242,19 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="run one experiment")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.add_argument("--quick", action="store_true")
+    experiment.add_argument("--json", action="store_true",
+                            help="print result rows as JSON")
+    experiment.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                            help="record the tracepoint stream to PATH")
     experiment.set_defaults(func=_cmd_experiment)
+
+    metrics = sub.add_parser(
+        "metrics", help="run one experiment under the observability bus")
+    metrics.add_argument("name", choices=sorted(_EXPERIMENTS))
+    metrics.add_argument("--quick", action="store_true")
+    metrics.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                         help="record the tracepoint stream to PATH")
+    metrics.set_defaults(func=_cmd_metrics)
 
     disasm = sub.add_parser("disasm",
                             help="disassemble a library BPF program")

@@ -8,9 +8,11 @@ the BIO layer for accounting.  Both pieces are implemented here.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict
 
 from repro.errors import InvalidArgument
+from repro.obs import events as obs_events
+from repro.obs.bus import NULL_BUS
 
 __all__ = ["ChainAccounting"]
 
@@ -22,6 +24,10 @@ class ChainAccounting:
         if max_chain_hops < 1:
             raise InvalidArgument("max_chain_hops must be >= 1")
         self.max_chain_hops = max_chain_hops
+        #: Observability: the owning StorageBpf points these at the
+        #: kernel's bus/clock; standalone instances keep disabled defaults.
+        self.bus = NULL_BUS
+        self.clock: Callable[[], int] = lambda: 0
         #: Cumulative resubmissions per pid since the last drain.
         self._pending: Dict[int, int] = {}
         #: Lifetime totals per pid (never reset; for tests/metrics).
@@ -52,6 +58,11 @@ class ChainAccounting:
         runs.
         """
         drained, self._pending = self._pending, {}
+        if self.bus.enabled:
+            self.bus.emit(obs_events.RESUBMIT_DRAIN, self.clock(),
+                          pids={str(pid): count
+                                for pid, count in sorted(drained.items())},
+                          total=sum(drained.values()))
         return drained
 
     def pending(self, pid: int) -> int:

@@ -43,6 +43,7 @@ from repro.core.install import (
     IOCTL_UNINSTALL_BPF,
     BpfInstallation,
 )
+from repro.obs import events as obs_events
 
 __all__ = ["InstallRequest", "StorageBpf"]
 
@@ -70,8 +71,11 @@ class StorageBpf:
     def __init__(self, kernel: Kernel, max_chain_hops: int = 64):
         self.kernel = kernel
         self.helpers = storage_helpers()
-        self.cache = NvmeExtentCache(kernel.fs)
+        clock = lambda: kernel.sim.now  # noqa: E731
+        self.cache = NvmeExtentCache(kernel.fs, bus=kernel.bus, clock=clock)
         self.accounting = ChainAccounting(max_chain_hops)
+        self.accounting.bus = kernel.bus
+        self.accounting.clock = clock
         self.engine = ChainEngine(kernel, self.cache, self.accounting)
         kernel.tagged_read_handler = self._tagged_read
         kernel.syscall_read_hook = self.engine.syscall_hook
@@ -101,6 +105,8 @@ class StorageBpf:
             verify(program, self.helpers, maps=arg.maps)
         env = VmEnvironment(self.helpers, maps=arg.maps,
                             clock=lambda: self.kernel.sim.now)
+        # Let helpers (e.g. trace_offset) publish onto the kernel's bus.
+        env.trace_bus = self.kernel.bus
         installation = BpfInstallation(
             program, arg.hook, arg.block_size, arg.scratch_size, env,
             default_args=arg.args, jit=arg.jit)
@@ -176,6 +182,15 @@ class StorageBpf:
         if installation.hook is Hook.NVME:
             yield from kernel.cpus.run_thread(kernel.cost.kernel_crossing_ns +
                                               kernel.cost.syscall_ns)
+            if kernel.bus.enabled:
+                # The chain root span opens inside start_chain; this event
+                # attributes the boundary-crossing cost to the chain path.
+                kernel.bus.emit(
+                    obs_events.SYSCALL_ENTER, kernel.sim.now,
+                    op="chain_entry",
+                    pid=proc.pid,
+                    crossing_ns=kernel.cost.kernel_crossing_ns,
+                    syscall_ns=kernel.cost.syscall_ns, path="chain", span=0)
             result = yield from self.engine.start_chain(
                 proc, file, offset, length, args, scratch_init)
             return result
@@ -294,6 +309,15 @@ class StorageBpf:
         yield from kernel.cpus.run_thread(
             kernel.cost.user_process_ns +
             kernel.cost.bpf_run_ns(instructions, installation.jit))
+        if kernel.bus.enabled:
+            kernel.bus.emit(obs_events.APP_PROCESS, kernel.sim.now,
+                            cpu_ns=kernel.cost.user_process_ns, path="chain")
+            kernel.bus.emit(
+                obs_events.BPF_HOOK_DISPATCH, kernel.sim.now, hook="user",
+                cpu_ns=kernel.cost.bpf_run_ns(instructions,
+                                              installation.jit),
+                instructions=instructions, action=outputs["action"],
+                span=0, path="chain")
         if outputs["action"] == ACTION_RESUBMIT:
             return outputs["next_offset"], bytes(state.scratch)
         if outputs["action"] == ACTION_RETURN_VALUE:

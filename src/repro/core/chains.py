@@ -52,6 +52,7 @@ from repro.core.hooks import (
     Hook,
 )
 from repro.core.install import BpfInstallation
+from repro.obs import events as obs_events
 
 __all__ = ["ChainEngine", "ChainState"]
 
@@ -62,7 +63,7 @@ class ChainState:
     """Mutable state of one in-flight chain."""
 
     __slots__ = ("proc", "file", "install", "offset", "length", "scratch",
-                 "args", "hops", "deliver", "done")
+                 "args", "hops", "deliver", "done", "span")
 
     def __init__(self, proc: Process, file: File, install: BpfInstallation,
                  offset: int, length: int, args: Tuple[int, ...],
@@ -79,6 +80,8 @@ class ChainState:
         self.hops = 0
         self.deliver = deliver
         self.done = False
+        #: Root span id of this chain (0 when tracing is disabled).
+        self.span = 0
 
     def finish(self, result: ReadResult) -> None:
         if self.done:
@@ -147,32 +150,62 @@ class ChainEngine:
         """
         kernel = self.kernel
         cost = kernel.cost
+        bus = kernel.bus
         install: BpfInstallation = file.bpf_install
         full_args = tuple(args) + install.default_args[len(args):]
         self.chains_started += 1
+        span = 0
+        if bus.enabled:
+            span = bus.span_start("read_chain", kernel.sim.now,
+                                  pid=proc.pid, path="chain")
+            bus.emit(obs_events.SYSCALL_ENTER, kernel.sim.now,
+                     op="read_chain", pid=proc.pid, crossing_ns=0,
+                     syscall_ns=0, path="chain", span=span)
 
         yield from kernel.cpus.run_thread(cost.filesystem_ns)
-        segments = kernel.fs.map_range(file.inode, offset, length)
+        segments = kernel.fs.map_range(file.inode, offset, length,
+                                       span=span, path="chain")
         yield from kernel.cpus.run_thread(cost.bio_ns)
+        if bus.enabled:
+            bus.emit(obs_events.BIO_SUBMIT, kernel.sim.now,
+                     cpu_ns=cost.bio_ns, segments=len(segments),
+                     span=span, path="chain")
 
         waiter = kernel.sim.event()
         state = ChainState(proc, file, install, offset, length, full_args,
                            scratch_init, deliver=waiter.succeed)
+        state.span = span
 
         if len(segments) > 1:
             # First hop already spans discontiguous extents: do it as a
             # normal BIO and let the application restart the chain (§4).
+            if bus.enabled:
+                bus.emit(obs_events.BIO_SPLIT, kernel.sim.now,
+                         segments=len(segments), span=span, path="chain")
             chunks = []
             for lba, sectors in segments:
                 yield from kernel.cpus.run_thread(cost.nvme_driver_ns)
                 event = kernel.sim.event()
-                kernel.device.submit(
-                    NvmeCommand("read", lba, sectors,
-                                cookie=IoCookie("irq", event=event)))
+                command = NvmeCommand("read", lba, sectors,
+                                      cookie=IoCookie("irq", event=event))
+                if bus.enabled:
+                    command.span = span
+                    command.path = "chain"
+                    command.driver_ns = cost.nvme_driver_ns
+                kernel.device.submit(command)
                 completed = yield event
                 chunks.append(completed.data)
             yield from kernel.cpus.run_thread(cost.context_switch_ns)
             self.split_fallbacks += 1
+            if bus.enabled:
+                bus.emit(obs_events.CONTEXT_SWITCH, kernel.sim.now,
+                         cpu_ns=cost.context_switch_ns, span=span,
+                         path="chain")
+                bus.emit(obs_events.CHAIN_COMPLETE, kernel.sim.now,
+                         hops=1, status=ReadResult.SPLIT_FALLBACK,
+                         pid=proc.pid, span=span)
+                bus.span_end(span, kernel.sim.now,
+                             status=ReadResult.SPLIT_FALLBACK, hops=1)
             return ReadResult(b"".join(chunks),
                               status=ReadResult.SPLIT_FALLBACK, hops=1,
                               final_offset=offset,
@@ -181,10 +214,21 @@ class ChainEngine:
         lba, sectors = segments[0]
         command = NvmeCommand("read", lba, sectors,
                               cookie=IoCookie("chain", chain=state))
+        if bus.enabled:
+            command.span = span
+            command.path = "chain"
         yield from kernel.submit_chain_command(command)
 
         result = yield waiter
         yield from kernel.cpus.run_thread(cost.context_switch_ns)
+        if bus.enabled:
+            bus.emit(obs_events.CONTEXT_SWITCH, kernel.sim.now,
+                     cpu_ns=cost.context_switch_ns, span=span, path="chain")
+            bus.emit(obs_events.CHAIN_COMPLETE, kernel.sim.now,
+                     hops=result.hops, status=result.status, pid=proc.pid,
+                     span=span)
+            bus.span_end(span, kernel.sim.now, status=result.status,
+                         hops=result.hops)
         return result
 
     def submit_uring_chain(self, proc: Process, file: File, sqe,
@@ -192,36 +236,66 @@ class ChainEngine:
         """Generator used as the io_uring chain submitter (thread context)."""
         kernel = self.kernel
         cost = kernel.cost
+        bus = kernel.bus
         install: BpfInstallation = file.bpf_install
         full_args = tuple(sqe.args) + install.default_args[len(sqe.args):]
         self.chains_started += 1
+        span = 0
+        if bus.enabled:
+            span = bus.span_start("read_chain", kernel.sim.now,
+                                  pid=proc.pid, path="chain", uring=True)
+            bus.emit(obs_events.SYSCALL_ENTER, kernel.sim.now,
+                     op="read_chain", pid=proc.pid, crossing_ns=0,
+                     syscall_ns=0, path="chain", span=span)
 
         yield from kernel.cpus.run_thread(cost.filesystem_ns)
-        segments = kernel.fs.map_range(file.inode, sqe.offset, sqe.length)
+        segments = kernel.fs.map_range(file.inode, sqe.offset, sqe.length,
+                                       span=span, path="chain")
         yield from kernel.cpus.run_thread(cost.bio_ns)
+        if bus.enabled:
+            bus.emit(obs_events.BIO_SUBMIT, kernel.sim.now,
+                     cpu_ns=cost.bio_ns, segments=len(segments),
+                     span=span, path="chain")
 
         def deliver(result: ReadResult) -> None:
+            if bus.enabled:
+                bus.emit(obs_events.CHAIN_COMPLETE, kernel.sim.now,
+                         hops=result.hops, status=result.status,
+                         pid=proc.pid, span=span)
+                bus.span_end(span, kernel.sim.now, status=result.status,
+                             hops=result.hops)
             post_cqe(sqe.user_data, result)
 
         state = ChainState(proc, file, install, sqe.offset, sqe.length,
                            full_args, sqe.scratch_init, deliver=deliver)
+        state.span = span
 
         if len(segments) > 1:
             # Split first hop: complete as a normal read with fallback status.
+            if bus.enabled:
+                bus.emit(obs_events.BIO_SPLIT, kernel.sim.now,
+                         segments=len(segments), span=span, path="chain")
             collector = _SplitCollector(state, len(segments))
             for lba, sectors in segments:
                 yield from kernel.cpus.run_thread(cost.nvme_driver_ns)
                 event = kernel.sim.event()
                 event.add_callback(collector.segment_done)
-                kernel.device.submit(
-                    NvmeCommand("read", lba, sectors,
-                                cookie=IoCookie("irq", event=event)))
+                command = NvmeCommand("read", lba, sectors,
+                                      cookie=IoCookie("irq", event=event))
+                if bus.enabled:
+                    command.span = span
+                    command.path = "chain"
+                    command.driver_ns = cost.nvme_driver_ns
+                kernel.device.submit(command)
             self.split_fallbacks += 1
             return
 
         lba, sectors = segments[0]
         command = NvmeCommand("read", lba, sectors,
                               cookie=IoCookie("chain", chain=state))
+        if bus.enabled:
+            command.span = span
+            command.path = "chain"
         yield from kernel.submit_chain_command(command)
 
     # -- completion side ---------------------------------------------------
@@ -233,98 +307,149 @@ class ChainEngine:
     def _irq_chain_step(self, command: NvmeCommand):
         kernel = self.kernel
         cost = kernel.cost
+        bus = kernel.bus
         state: ChainState = command.cookie.chain
         install = state.install
         state.hops += 1
         kernel.irq_count += 1
+        hop_span = 0
+        if bus.enabled:
+            hop_span = bus.span_start("chain_hop", kernel.sim.now,
+                                      parent=state.span, hop=state.hops,
+                                      path="chain")
+            bus.emit(obs_events.CHAIN_HOP, kernel.sim.now, hop=state.hops,
+                     offset=state.offset, pid=state.proc.pid,
+                     span=hop_span, parent=state.span, path="chain")
+        try:
+            yield from kernel.cpus.run_irq(cost.irq_entry_ns)
+            if bus.enabled:
+                bus.emit(obs_events.IRQ_ENTRY, kernel.sim.now,
+                         cpu_ns=cost.irq_entry_ns, span=hop_span,
+                         path="chain")
 
-        yield from kernel.cpus.run_irq(cost.irq_entry_ns)
-
-        if command.status != 0:
-            # Media error mid-chain: surface it, do not run the program.
-            state.finish(ReadResult(b"", status=ReadResult.EIO,
-                                    hops=state.hops,
-                                    final_offset=state.offset))
-            return
-
-        entry = install.cache_entry
-        if entry is None or not entry.valid:
-            # Invalidated mid-chain: discard the recycled I/O, error out.
-            self.extent_aborts += 1
-            state.finish(ReadResult(b"", status=ReadResult.EXTENT_INVALIDATED,
-                                    hops=state.hops,
-                                    final_offset=state.offset))
-            return
-
-        outputs, instructions = self._run_program(state, command.data)
-        yield from kernel.cpus.run_irq(
-            cost.bpf_run_ns(instructions, install.jit))
-
-        action = outputs["action"]
-        if action == ACTION_RESUBMIT:
-            next_offset = outputs["next_offset"]
-            if not self.accounting.may_resubmit(state.proc.pid, state.hops):
-                # Kill the chain for fairness.  The result carries the next
-                # offset and the scratch so the application can continue
-                # with a fresh (bounded) chain from where this one stopped.
-                self.accounting.record_kill(state.proc.pid)
-                state.finish(ReadResult(b"",
-                                        status=ReadResult.CHAIN_LIMIT,
+            if command.status != 0:
+                # Media error mid-chain: surface it, do not run the program.
+                state.finish(ReadResult(b"", status=ReadResult.EIO,
                                         hops=state.hops,
-                                        final_offset=next_offset,
-                                        scratch=bytes(state.scratch)))
+                                        final_offset=state.offset))
                 return
-            translation = entry.translate(next_offset, state.length)
-            if translation.status == Translation.MISS:
+
+            entry = install.cache_entry
+            if entry is None or not entry.valid:
+                # Invalidated mid-chain: discard the recycled I/O, error out.
                 self.extent_aborts += 1
                 state.finish(ReadResult(b"",
                                         status=ReadResult.EXTENT_INVALIDATED,
                                         hops=state.hops,
-                                        final_offset=next_offset))
+                                        final_offset=state.offset))
                 return
-            if translation.status == Translation.SPLIT:
-                # Granularity mismatch (§4): perform the split I/O as a
-                # normal BIO from the completion path and hand the *new*
-                # buffer to the application, which runs the function itself
-                # and restarts the chain at the next hop.
-                self.split_fallbacks += 1
-                yield from kernel.cpus.run_irq(cost.bio_ns)
-                segments = kernel.fs.map_range(state.file.inode,
-                                               next_offset, state.length)
-                state.offset = next_offset
-                finisher = _SplitReadFinisher(state, len(segments))
-                for lba, sectors in segments:
-                    yield from kernel.cpus.run_irq(cost.nvme_driver_ns)
-                    event = kernel.sim.event()
-                    event.add_callback(finisher.segment_done)
-                    kernel.device.submit(
-                        NvmeCommand("read", lba, sectors,
-                                    cookie=IoCookie("irq", event=event)))
-                return
-            self.accounting.charge(state.proc.pid)
-            install.resubmissions += 1
-            state.offset = next_offset
-            command.retarget(translation.lba, translation.sectors)
-            command.source = "bpf-recycle"
-            yield from kernel.cpus.run_irq(cost.nvme_driver_ns)
-            kernel.device.submit(command)
-            return
 
-        if action == ACTION_RETURN_BUFFER:
-            self.chains_completed += 1
-            state.finish(ReadResult(command.data, hops=state.hops,
-                                    final_offset=state.offset,
-                                    value=outputs["result"],
-                                    value2=outputs["result2"]))
-            return
-        if action == ACTION_RETURN_VALUE:
-            self.chains_completed += 1
-            state.finish(ReadResult(b"", hops=state.hops,
-                                    final_offset=state.offset,
-                                    value=outputs["result"],
-                                    value2=outputs["result2"]))
-            return
-        raise IoError(f"program returned unknown action {action}")
+            outputs, instructions = self._run_program(state, command.data)
+            bpf_ns = cost.bpf_run_ns(instructions, install.jit)
+            yield from kernel.cpus.run_irq(bpf_ns)
+            action = outputs["action"]
+            if bus.enabled:
+                bus.emit(obs_events.BPF_HOOK_DISPATCH, kernel.sim.now,
+                         hook="nvme", cpu_ns=bpf_ns,
+                         instructions=instructions, action=action,
+                         span=hop_span, path="chain")
+
+            if action == ACTION_RESUBMIT:
+                next_offset = outputs["next_offset"]
+                if not self.accounting.may_resubmit(state.proc.pid,
+                                                    state.hops):
+                    # Kill the chain for fairness.  The result carries the
+                    # next offset and the scratch so the application can
+                    # continue with a fresh (bounded) chain from where this
+                    # one stopped.
+                    self.accounting.record_kill(state.proc.pid)
+                    if bus.enabled:
+                        bus.emit(obs_events.CHAIN_KILL, kernel.sim.now,
+                                 pid=state.proc.pid, hops=state.hops,
+                                 span=hop_span, path="chain")
+                    state.finish(ReadResult(b"",
+                                            status=ReadResult.CHAIN_LIMIT,
+                                            hops=state.hops,
+                                            final_offset=next_offset,
+                                            scratch=bytes(state.scratch)))
+                    return
+                translation = entry.translate(next_offset, state.length,
+                                              span=hop_span)
+                if translation.status == Translation.MISS:
+                    self.extent_aborts += 1
+                    state.finish(
+                        ReadResult(b"",
+                                   status=ReadResult.EXTENT_INVALIDATED,
+                                   hops=state.hops,
+                                   final_offset=next_offset))
+                    return
+                if translation.status == Translation.SPLIT:
+                    # Granularity mismatch (§4): perform the split I/O as a
+                    # normal BIO from the completion path and hand the *new*
+                    # buffer to the application, which runs the function
+                    # itself and restarts the chain at the next hop.
+                    self.split_fallbacks += 1
+                    yield from kernel.cpus.run_irq(cost.bio_ns)
+                    segments = kernel.fs.map_range(state.file.inode,
+                                                   next_offset, state.length,
+                                                   span=hop_span,
+                                                   path="chain",
+                                                   resolve_ns=0)
+                    if bus.enabled:
+                        bus.emit(obs_events.BIO_SUBMIT, kernel.sim.now,
+                                 cpu_ns=cost.bio_ns, segments=len(segments),
+                                 span=hop_span, path="chain")
+                        bus.emit(obs_events.BIO_SPLIT, kernel.sim.now,
+                                 segments=len(segments), span=hop_span,
+                                 path="chain")
+                    state.offset = next_offset
+                    finisher = _SplitReadFinisher(state, len(segments))
+                    for lba, sectors in segments:
+                        yield from kernel.cpus.run_irq(cost.nvme_driver_ns)
+                        event = kernel.sim.event()
+                        event.add_callback(finisher.segment_done)
+                        split_cmd = NvmeCommand(
+                            "read", lba, sectors,
+                            cookie=IoCookie("irq", event=event))
+                        if bus.enabled:
+                            split_cmd.span = hop_span
+                            split_cmd.path = "chain"
+                            split_cmd.driver_ns = cost.nvme_driver_ns
+                        kernel.device.submit(split_cmd)
+                    return
+                self.accounting.charge(state.proc.pid)
+                install.resubmissions += 1
+                state.offset = next_offset
+                command.retarget(translation.lba, translation.sectors)
+                command.source = "bpf-recycle"
+                # The recycled command belongs to this hop's span: the next
+                # completion charges its device time here, making "which
+                # layers did this hop touch" directly readable.
+                if bus.enabled:
+                    command.span = hop_span
+                    command.driver_ns = cost.nvme_driver_ns
+                yield from kernel.cpus.run_irq(cost.nvme_driver_ns)
+                kernel.device.submit(command)
+                return
+
+            if action == ACTION_RETURN_BUFFER:
+                self.chains_completed += 1
+                state.finish(ReadResult(command.data, hops=state.hops,
+                                        final_offset=state.offset,
+                                        value=outputs["result"],
+                                        value2=outputs["result2"]))
+                return
+            if action == ACTION_RETURN_VALUE:
+                self.chains_completed += 1
+                state.finish(ReadResult(b"", hops=state.hops,
+                                        final_offset=state.offset,
+                                        value=outputs["result"],
+                                        value2=outputs["result2"]))
+                return
+            raise IoError(f"program returned unknown action {action}")
+        finally:
+            if hop_span:
+                bus.span_end(hop_span, kernel.sim.now)
 
     # ------------------------------------------------------------------
     # Syscall-dispatch hook
@@ -355,20 +480,36 @@ class ChainEngine:
         state.offset = offset
         state.hops += 1
 
+        bus = kernel.bus
+        span = hook_state.get("span", 0)
         outputs, instructions = self._run_program(state, result.data)
-        yield from kernel.cpus.run_thread(
-            cost.bpf_run_ns(instructions, install.jit))
+        bpf_ns = cost.bpf_run_ns(instructions, install.jit)
+        yield from kernel.cpus.run_thread(bpf_ns)
 
         action = outputs["action"]
+        if bus.enabled:
+            bus.emit(obs_events.BPF_HOOK_DISPATCH, kernel.sim.now,
+                     hook="syscall", cpu_ns=bpf_ns,
+                     instructions=instructions, action=action,
+                     span=span, path="syscall")
         if action == ACTION_RESUBMIT:
             if not self.accounting.may_resubmit(proc.pid, state.hops):
                 self.accounting.record_kill(proc.pid)
+                if bus.enabled:
+                    bus.emit(obs_events.CHAIN_KILL, kernel.sim.now,
+                             pid=proc.pid, hops=state.hops, span=span,
+                             path="syscall")
                 return "return", ReadResult(result.data,
                                             status=ReadResult.CHAIN_LIMIT,
                                             hops=state.hops,
                                             final_offset=state.offset)
             self.accounting.charge(proc.pid)
             install.resubmissions += 1
+            if bus.enabled:
+                bus.emit(obs_events.CHAIN_HOP, kernel.sim.now,
+                         hop=state.hops, offset=outputs["next_offset"],
+                         pid=proc.pid, span=span, parent=span,
+                         path="syscall")
             return "reissue", outputs["next_offset"]
         if action == ACTION_RETURN_VALUE:
             return "return", ReadResult(b"", hops=state.hops,

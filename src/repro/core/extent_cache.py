@@ -16,10 +16,12 @@ also require a refresh — the heavy-handed-but-simple protocol of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.device.blockdev import SECTOR_SIZE
 from repro.kernel.extfs import BLOCK_SIZE, ExtFs, Inode, SECTORS_PER_BLOCK
+from repro.obs import events as obs_events
+from repro.obs.bus import NULL_BUS, TraceBus
 
 __all__ = ["CacheEntry", "NvmeExtentCache", "Translation"]
 
@@ -40,15 +42,18 @@ class Translation:
 class CacheEntry:
     """One file's snapshotted extents, valid while ``valid`` is True."""
 
-    __slots__ = ("ino", "extents", "epoch", "valid")
+    __slots__ = ("ino", "extents", "epoch", "valid", "bus", "clock")
 
     def __init__(self, ino: int, extents: List[Tuple[int, int, int]],
-                 epoch: int):
+                 epoch: int, bus: TraceBus = NULL_BUS,
+                 clock: Callable[[], int] = lambda: 0):
         self.ino = ino
         # (file_block, phys_block, count), sorted by file_block.
         self.extents = extents
         self.epoch = epoch
         self.valid = True
+        self.bus = bus
+        self.clock = clock
 
     def lookup_block(self, file_block: int) -> Optional[int]:
         for start, phys, count in self.extents:
@@ -56,8 +61,21 @@ class CacheEntry:
                 return phys + (file_block - start)
         return None
 
-    def translate(self, offset: int, length: int) -> Translation:
+    def translate(self, offset: int, length: int,
+                  span: int = 0) -> Translation:
         """Map a byte range to one contiguous LBA run, else SPLIT/MISS."""
+        result = self._translate(offset, length)
+        if self.bus.enabled:
+            etype = {
+                Translation.OK: obs_events.EXTENT_CACHE_HIT,
+                Translation.MISS: obs_events.EXTENT_CACHE_MISS,
+                Translation.SPLIT: obs_events.EXTENT_CACHE_SPLIT,
+            }[result.status]
+            self.bus.emit(etype, self.clock(), ino=self.ino, offset=offset,
+                          length=length, span=span, path="chain")
+        return result
+
+    def _translate(self, offset: int, length: int) -> Translation:
         if offset % SECTOR_SIZE or length % SECTOR_SIZE or length <= 0:
             return Translation(Translation.MISS)
         first_block = offset // BLOCK_SIZE
@@ -82,8 +100,11 @@ class CacheEntry:
 class NvmeExtentCache:
     """All snapshots held at the (simulated) NVMe layer, keyed by inode."""
 
-    def __init__(self, fs: ExtFs):
+    def __init__(self, fs: ExtFs, bus: Optional[TraceBus] = None,
+                 clock: Optional[Callable[[], int]] = None):
         self.fs = fs
+        self.bus = bus if bus is not None else NULL_BUS
+        self.clock = clock if clock is not None else (lambda: 0)
         self._entries: Dict[int, CacheEntry] = {}
         self._epoch = 0
         self.invalidations = 0
@@ -97,9 +118,14 @@ class NvmeExtentCache:
             (extent.file_block, extent.phys_block, extent.count)
             for extent in inode.extents
         ]
-        entry = CacheEntry(inode.number, snapshot, self._epoch)
+        entry = CacheEntry(inode.number, snapshot, self._epoch,
+                           bus=self.bus, clock=self.clock)
         self._entries[inode.number] = entry
         self.refreshes += 1
+        if self.bus.enabled:
+            self.bus.emit(obs_events.EXTENT_CACHE_INSTALL, self.clock(),
+                          ino=inode.number, extents=len(snapshot),
+                          epoch=self._epoch)
         return entry
 
     def entry(self, inode: Inode) -> Optional[CacheEntry]:
@@ -113,6 +139,10 @@ class NvmeExtentCache:
         if entry is not None and entry.valid:
             entry.valid = False
             self.invalidations += 1
+            if self.bus.enabled:
+                self.bus.emit(obs_events.EXTENT_CACHE_INVALIDATE,
+                              self.clock(), ino=inode.number,
+                              epoch=entry.epoch)
 
     def drop(self, inode: Inode) -> None:
         self._entries.pop(inode.number, None)

@@ -132,6 +132,11 @@ def storage_helpers() -> HelperRegistry:
 
     def trace_offset(vm, offset: int) -> int:
         vm.trace_log.append(offset & 0xFFFFFFFFFFFFFFFF)
+        bus = getattr(vm.env, "trace_bus", None)
+        if bus is not None and bus.enabled:
+            from repro.obs import events as obs_events  # lazy: hot path
+            bus.emit(obs_events.BPF_HELPER_TRACE, vm.env.now(),
+                     offset=offset & 0xFFFFFFFFFFFFFFFF)
         return 0
 
     registry.register(

@@ -18,6 +18,8 @@ from repro.errors import InvalidArgument, IoError
 from repro.device.blockdev import SECTOR_SIZE, BlockDevice
 from repro.device.latency import LatencyModel
 from repro.device.trace import IoTrace, TraceEntry
+from repro.obs import events as obs_events
+from repro.obs.bus import NULL_BUS, TraceBus
 from repro.sim import Simulator, Store
 
 __all__ = ["NvmeCommand", "NvmeDevice"]
@@ -34,7 +36,8 @@ class NvmeCommand:
     """
 
     __slots__ = ("opcode", "lba", "sectors", "data", "cookie", "source",
-                 "submit_ns", "complete_ns", "status")
+                 "submit_ns", "complete_ns", "status", "span", "path",
+                 "driver_ns")
 
     def __init__(self, opcode: str, lba: int, sectors: int,
                  data: Optional[bytes] = None, cookie: Any = None,
@@ -55,6 +58,11 @@ class NvmeCommand:
         self.submit_ns = -1
         self.complete_ns = -1
         self.status = 0
+        #: Observability context: owning span id, I/O path taxonomy, and
+        #: the driver-side submission cost charged for this command.
+        self.span = 0
+        self.path = "normal"
+        self.driver_ns = 0
 
     def retarget(self, lba: int, sectors: int) -> None:
         """Recycle this descriptor for a new read (the paper's §4 recycle)."""
@@ -73,12 +81,14 @@ class NvmeDevice:
 
     def __init__(self, sim: Simulator, model: LatencyModel,
                  media: BlockDevice, rng: random.Random,
-                 trace: Optional[IoTrace] = None):
+                 trace: Optional[IoTrace] = None,
+                 bus: Optional[TraceBus] = None):
         self.sim = sim
         self.model = model
         self.media = media
         self.rng = rng
         self.trace = trace if trace is not None else IoTrace(enabled=False)
+        self.bus = bus if bus is not None else NULL_BUS
         self.submission_queue: Store = Store(sim, name="nvme-sq")
         #: Registered by the NVMe driver; invoked once per completion at the
         #: simulated completion instant.
@@ -113,6 +123,12 @@ class NvmeDevice:
         driver charges its own submission cost)."""
         command.submit_ns = self.sim.now
         self.in_flight += 1
+        if self.bus.enabled:
+            self.bus.emit(obs_events.NVME_SUBMIT, self.sim.now,
+                          opcode=command.opcode, lba=command.lba,
+                          sectors=command.sectors, source=command.source,
+                          driver_ns=command.driver_ns, span=command.span,
+                          path=command.path, queue_depth=self.in_flight)
         self.submission_queue.put(command)
 
     @property
@@ -136,6 +152,17 @@ class NvmeDevice:
                            command.opcode, command.lba, command.sectors,
                            command.source)
             )
+            if self.bus.enabled:
+                # service_ns is the sampled media time, excluding queue
+                # wait, so layer attribution stays exact under queueing.
+                self.bus.emit(
+                    obs_events.NVME_COMPLETE, self.sim.now,
+                    opcode=command.opcode, lba=command.lba,
+                    sectors=command.sectors, source=command.source,
+                    service_ns=latency,
+                    queue_ns=command.complete_ns - command.submit_ns - latency,
+                    status=command.status, span=command.span,
+                    path=command.path)
             handler = self.completion_handler
             if handler is None:
                 raise IoError("NVMe completion with no handler registered")

@@ -8,8 +8,9 @@ chained reissues really bypassed the kernel stack.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Deque, Iterator, Optional
 
 __all__ = ["IoTrace", "TraceEntry"]
 
@@ -31,15 +32,28 @@ class TraceEntry:
 
 
 class IoTrace:
-    """An append-only list of trace entries with simple query helpers."""
+    """An append-only log of trace entries with simple query helpers.
 
-    def __init__(self, enabled: bool = True):
+    With ``max_entries`` set the trace becomes a ring buffer retaining
+    only the newest ``max_entries`` records, so long-running experiments
+    keep memory bounded.  Queries (``count``, iteration, ``len``) see the
+    retained window only; ``recorded_total`` keeps the lifetime count.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
         self.enabled = enabled
-        self.entries: List[TraceEntry] = []
+        self.max_entries = max_entries
+        self.entries: Deque[TraceEntry] = deque(maxlen=max_entries)
+        #: Lifetime number of records, including any evicted from the ring.
+        self.recorded_total = 0
 
     def record(self, entry: TraceEntry) -> None:
         if self.enabled:
             self.entries.append(entry)
+            self.recorded_total += 1
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -49,6 +63,7 @@ class IoTrace:
 
     def count(self, opcode: Optional[str] = None,
               source: Optional[str] = None) -> int:
+        """Matching entries in the retained window."""
         return sum(
             1
             for entry in self.entries

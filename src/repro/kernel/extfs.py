@@ -32,6 +32,8 @@ from repro.errors import (
     NotADirectory,
 )
 from repro.kernel.extent import Extent, ExtentTree
+from repro.obs import events as obs_events
+from repro.obs.bus import NULL_BUS
 
 __all__ = ["BLOCK_SIZE", "ExtFs", "Inode", "SECTORS_PER_BLOCK"]
 
@@ -132,6 +134,12 @@ class ExtFs:
         #: Subscribers notified as ``fn(inode, kind)`` with kind in
         #: {"grow", "unmap"} on every extent mutation.
         self.extent_change_listeners: List[Callable[[Inode, str], None]] = []
+        #: Observability: the kernel that owns this fs points these at its
+        #: tracepoint bus and simulated clock; standalone ExtFs instances
+        #: (unit tests, setup paths) keep the disabled defaults.
+        self.bus = NULL_BUS
+        self.clock: Callable[[], int] = lambda: 0
+        self.resolve_cost_ns = 0
 
     # ------------------------------------------------------------------
     # Namespace
@@ -230,6 +238,9 @@ class ExtFs:
     # ------------------------------------------------------------------
 
     def _notify(self, inode: Inode, kind: str) -> None:
+        if self.bus.enabled:
+            self.bus.emit(obs_events.EXTENT_CHANGE, self.clock(),
+                          ino=inode.number, kind=kind)
         for listener in self.extent_change_listeners:
             listener(inode, kind)
 
@@ -302,12 +313,18 @@ class ExtFs:
         if had_blocks:
             self._notify(inode, "unmap")
 
-    def map_range(self, inode: Inode, offset: int, length: int
+    def map_range(self, inode: Inode, offset: int, length: int,
+                  span: int = 0, path: str = "normal",
+                  resolve_ns: Optional[int] = None
                   ) -> List[Tuple[int, int]]:
         """Translate a byte range to ``(lba, sectors)`` segments.
 
         Requires sector alignment (O_DIRECT semantics).  More than one
-        segment means the BIO layer must split.
+        segment means the BIO layer must split.  ``span``/``path`` tag the
+        emitted ``fs_resolve`` tracepoint; the CPU cost itself is charged
+        by the caller, mirrored here as ``cpu_ns`` (``resolve_ns``
+        overrides it for call sites that charge a different amount, e.g.
+        the IRQ-context split fallback which charges no fs cost).
         """
         if offset % SECTOR_SIZE or length % SECTOR_SIZE or length <= 0:
             raise InvalidArgument(
@@ -330,6 +347,13 @@ class ExtFs:
             else:
                 segments.append((lba, sectors))
             position += take
+        if self.bus.enabled:
+            self.bus.emit(obs_events.FS_RESOLVE, self.clock(),
+                          ino=inode.number, offset=offset, length=length,
+                          segments=len(segments),
+                          cpu_ns=(self.resolve_cost_ns if resolve_ns is None
+                                  else resolve_ns),
+                          span=span, path=path)
         return segments
 
     def fragmentation_of(self, inode: Inode) -> int:

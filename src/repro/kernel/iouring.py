@@ -20,6 +20,7 @@ from repro.device import NvmeCommand
 from repro.errors import InvalidArgument, IoError
 from repro.kernel.kernel import IoCookie, Kernel, ReadResult
 from repro.kernel.process import Process
+from repro.obs import events as obs_events
 
 __all__ = ["Cqe", "IoUring", "Sqe"]
 
@@ -92,34 +93,65 @@ class IoUring:
         kernel = self.kernel
         cost = kernel.cost
         sim = kernel.sim
+        bus = kernel.bus
         submitted, self._sq = self._sq, []
         kernel.syscall_count += 1
 
         # One boundary crossing + ring bookkeeping for the whole batch.
         yield from kernel.cpus.run_thread(cost.kernel_crossing_ns +
                                           cost.iouring_enter_ns)
+        if bus.enabled:
+            bus.emit(obs_events.SYSCALL_ENTER, sim.now, op="io_uring_enter",
+                     pid=self.proc.pid, crossing_ns=cost.kernel_crossing_ns,
+                     syscall_ns=0, uring_ns=cost.iouring_enter_ns,
+                     path="uring", span=0, batch=len(submitted))
 
         for sqe in submitted:
             file = self.proc.file(sqe.fd)
             yield from kernel.cpus.run_thread(cost.iouring_sqe_ns)
             if sqe.tagged and self.chain_submitter is not None and \
                     file.bpf_install is not None:
+                if bus.enabled:
+                    bus.emit(obs_events.SYSCALL_ENTER, sim.now,
+                             op="uring_sqe", pid=self.proc.pid,
+                             crossing_ns=0, syscall_ns=0,
+                             uring_ns=cost.iouring_sqe_ns, path="chain",
+                             span=0)
                 self._in_flight += 1
                 yield from self.chain_submitter(self.proc, file, sqe,
                                                 self._post_cqe)
                 continue
             # Normal async path: fs -> bio -> driver, completion by IRQ.
+            span = 0
+            if bus.enabled:
+                span = bus.span_start("uring_sqe", sim.now,
+                                      pid=self.proc.pid, path="uring")
+                bus.emit(obs_events.SYSCALL_ENTER, sim.now, op="uring_sqe",
+                         pid=self.proc.pid, crossing_ns=0, syscall_ns=0,
+                         uring_ns=cost.iouring_sqe_ns, path="uring",
+                         span=span)
             yield from kernel.cpus.run_thread(cost.filesystem_ns)
-            segments = kernel.fs.map_range(file.inode, sqe.offset, sqe.length)
+            segments = kernel.fs.map_range(file.inode, sqe.offset, sqe.length,
+                                           span=span, path="uring")
             yield from kernel.cpus.run_thread(cost.bio_ns)
+            if bus.enabled:
+                bus.emit(obs_events.BIO_SUBMIT, sim.now, cpu_ns=cost.bio_ns,
+                         segments=len(segments), span=span, path="uring")
+                if len(segments) > 1:
+                    bus.emit(obs_events.BIO_SPLIT, sim.now,
+                             segments=len(segments), span=span, path="uring")
             self._in_flight += 1
-            state = _SqeState(self, sqe, len(segments))
+            state = _SqeState(self, sqe, len(segments), span=span)
             for lba, sectors in segments:
                 yield from kernel.cpus.run_thread(cost.nvme_driver_ns)
                 event = sim.event()
                 event.add_callback(state.segment_done)
                 command = NvmeCommand("read", lba, sectors,
                                       cookie=IoCookie("irq", event=event))
+                if bus.enabled:
+                    command.span = span
+                    command.path = "uring"
+                    command.driver_ns = cost.nvme_driver_ns
                 kernel.device.submit(command)
 
         if wait_nr > len(self._cq) + self._in_flight:
@@ -135,10 +167,18 @@ class IoUring:
             # Woken by the completion IRQ: pay the schedule-in cost, then
             # the (batched) reap cost per CQE.
             yield from kernel.cpus.run_thread(cost.context_switch_ns)
+            if bus.enabled:
+                bus.emit(obs_events.CONTEXT_SWITCH, sim.now,
+                         cpu_ns=cost.context_switch_ns, span=0, path="uring")
         reaped, self._cq = self._cq, []
         if reaped:
             yield from kernel.cpus.run_thread(cost.iouring_reap_ns *
                                               len(reaped))
+            if bus.enabled:
+                bus.emit(obs_events.SYSCALL_ENTER, sim.now, op="uring_reap",
+                         pid=self.proc.pid, crossing_ns=0, syscall_ns=0,
+                         uring_ns=cost.iouring_reap_ns * len(reaped),
+                         path="uring", span=0, batch=len(reaped))
         return reaped
 
     # -- kernel side -------------------------------------------------------
@@ -155,12 +195,19 @@ class IoUring:
 class _SqeState:
     """Tracks a (possibly split) normal SQE until all segments complete."""
 
-    def __init__(self, ring: IoUring, sqe: Sqe, segment_count: int):
+    def __init__(self, ring: IoUring, sqe: Sqe, segment_count: int,
+                 span: int = 0):
         self.ring = ring
         self.sqe = sqe
         self.remaining = segment_count
         self.chunks: List[bytes] = []
         self.failed = False
+        self.span = span
+
+    def _close_span(self, status: str) -> None:
+        if self.span:
+            kernel = self.ring.kernel
+            kernel.bus.span_end(self.span, kernel.sim.now, status=status)
 
     def segment_done(self, event) -> None:
         command = event.value
@@ -170,11 +217,13 @@ class _SqeState:
         self.remaining -= 1
         if self.remaining == 0:
             if self.failed:
+                self._close_span(ReadResult.EIO)
                 self.ring._post_cqe(self.sqe.user_data,
                                     ReadResult(b"", status=ReadResult.EIO,
                                                final_offset=self.sqe.offset))
                 return
             data = b"".join(self.chunks)
+            self._close_span(ReadResult.OK)
             self.ring._post_cqe(self.sqe.user_data,
                                 ReadResult(data,
                                            final_offset=self.sqe.offset))

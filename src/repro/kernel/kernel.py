@@ -29,6 +29,8 @@ from repro.errors import InvalidArgument, IoError
 from repro.kernel.extfs import ExtFs
 from repro.kernel.layers import CostModel
 from repro.kernel.process import File, Process
+from repro.obs import events as obs_events
+from repro.obs.bus import TraceBus, get_default_bus
 from repro.sim import CpuSet, RandomStreams, Simulator
 
 __all__ = ["IoCookie", "Kernel", "KernelConfig", "ReadResult"]
@@ -48,6 +50,9 @@ class KernelConfig:
     max_extent_blocks: int = 32768
     #: Scatter allocations randomly across free runs (fragmentation knob).
     scatter_allocations: bool = False
+    #: Tracepoint bus; None picks up the process default (NULL_BUS unless
+    #: an ObsSession is active), keeping tracing off-by-default-cheap.
+    bus: Optional[TraceBus] = None
 
 
 class ReadResult:
@@ -118,14 +123,20 @@ class Kernel:
         self.streams = RandomStreams(self.config.seed)
         self.media = BlockDevice(self.config.capacity_sectors)
         self.trace = IoTrace(enabled=self.config.trace_device)
+        self.bus = (self.config.bus if self.config.bus is not None
+                    else get_default_bus())
         self.device = NvmeDevice(sim, device_model, self.media,
-                                 self.streams.stream("nvme"), trace=self.trace)
+                                 self.streams.stream("nvme"), trace=self.trace,
+                                 bus=self.bus)
         self.device.completion_handler = self._on_device_completion
         scatter = (self.streams.stream("alloc")
                    if self.config.scatter_allocations else None)
         self.fs = ExtFs(self.media,
                         max_extent_blocks=self.config.max_extent_blocks,
                         scatter_rng=scatter)
+        self.fs.bus = self.bus
+        self.fs.clock = lambda: sim.now
+        self.fs.resolve_cost_ns = self.cost.filesystem_ns
         self.model = device_model
         self._next_pid = 1
 
@@ -163,11 +174,25 @@ class Kernel:
     # Syscalls (each is a generator run inside a simulated thread)
     # ------------------------------------------------------------------
 
+    def _emit_syscall(self, op: str, pid: int, path: str = "ctl",
+                      crossing_ns: Optional[int] = None,
+                      syscall_ns: Optional[int] = None, span: int = 0) -> None:
+        """Publish one ``syscall_enter`` event (bus must be enabled)."""
+        self.bus.emit(
+            obs_events.SYSCALL_ENTER, self.sim.now, op=op, pid=pid,
+            crossing_ns=(self.cost.kernel_crossing_ns if crossing_ns is None
+                         else crossing_ns),
+            syscall_ns=(self.cost.syscall_ns if syscall_ns is None
+                        else syscall_ns),
+            path=path, span=span)
+
     def sys_open(self, proc: Process, path: str, create: bool = False):
         """Open (optionally creating) a file; returns an fd."""
         yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
                                         self.cost.syscall_ns)
         self.syscall_count += 1
+        if self.bus.enabled:
+            self._emit_syscall("open", proc.pid)
         if create and not self.fs.exists(path):
             inode = self.fs.create(path)
         else:
@@ -178,6 +203,8 @@ class Kernel:
         yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
                                         self.cost.syscall_ns)
         self.syscall_count += 1
+        if self.bus.enabled:
+            self._emit_syscall("close", proc.pid)
         proc.close_fd(fd)
         return 0
 
@@ -186,6 +213,8 @@ class Kernel:
         yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
                                         self.cost.syscall_ns)
         self.syscall_count += 1
+        if self.bus.enabled:
+            self._emit_syscall("ioctl", proc.pid)
         if op not in self.ioctl_handlers:
             raise InvalidArgument(f"unknown ioctl op {op:#x}")
         file = proc.file(fd)
@@ -197,6 +226,8 @@ class Kernel:
                                         self.cost.syscall_ns +
                                         self.cost.filesystem_ns)
         self.syscall_count += 1
+        if self.bus.enabled:
+            self._emit_syscall("ftruncate", proc.pid)
         self.fs.truncate(proc.file(fd).inode, size)
         return 0
 
@@ -214,32 +245,57 @@ class Kernel:
         yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
                                         self.cost.syscall_ns)
 
-        if tagged and self.tagged_read_handler is not None and \
-                file.bpf_install is not None and \
-                getattr(file.bpf_install, "hook_kind", None) == "nvme":
+        nvme_tagged = (tagged and self.tagged_read_handler is not None and
+                       file.bpf_install is not None and
+                       getattr(file.bpf_install, "hook_kind", None) == "nvme")
+        syscall_hooked = (tagged and not nvme_tagged and
+                          self.syscall_read_hook is not None and
+                          file.bpf_install is not None)
+        io_path = ("chain" if nvme_tagged
+                   else "syscall" if syscall_hooked else "normal")
+        span = 0
+        if self.bus.enabled:
+            if not nvme_tagged:
+                # NVMe-hook chains get their root span from the chain
+                # engine; everything else roots at the syscall boundary.
+                span = self.bus.span_start("sys_pread", self.sim.now,
+                                           pid=proc.pid, path=io_path)
+            self._emit_syscall("pread", proc.pid, path=io_path, span=span)
+
+        if nvme_tagged:
             result = yield from self.tagged_read_handler(proc, file, offset,
                                                          length)
             return result
 
         if hook_state is None:
             hook_state = {}
-        while True:  # syscall-dispatch hook reissue loop
-            data = yield from self._normal_read_path(file, offset, length)
-            result = ReadResult(data, final_offset=offset)
-            if tagged and self.syscall_read_hook is not None and \
-                    file.bpf_install is not None:
-                action, payload = yield from self.syscall_read_hook(
-                    proc, file, offset, result, hook_state)
-                if action == "reissue":
-                    offset = payload
-                    # Re-enter the dispatch layer without a boundary
-                    # crossing or app-side processing.
-                    yield from self.cpus.run_thread(self.cost.syscall_ns)
-                    continue
-                if action == "return":
-                    return payload
-                raise IoError(f"bad syscall hook action {action!r}")
-            return result
+        hook_state["span"] = span
+        try:
+            while True:  # syscall-dispatch hook reissue loop
+                data = yield from self._normal_read_path(file, offset, length,
+                                                         span=span,
+                                                         path=io_path)
+                result = ReadResult(data, final_offset=offset)
+                if syscall_hooked:
+                    action, payload = yield from self.syscall_read_hook(
+                        proc, file, offset, result, hook_state)
+                    if action == "reissue":
+                        offset = payload
+                        # Re-enter the dispatch layer without a boundary
+                        # crossing or app-side processing.
+                        yield from self.cpus.run_thread(self.cost.syscall_ns)
+                        if self.bus.enabled:
+                            self._emit_syscall("reissue", proc.pid,
+                                               path=io_path, crossing_ns=0,
+                                               span=span)
+                        continue
+                    if action == "return":
+                        return payload
+                    raise IoError(f"bad syscall hook action {action!r}")
+                return result
+        finally:
+            if span:
+                self.bus.span_end(span, self.sim.now)
 
     def sys_pwrite(self, proc: Process, fd: int, offset: int, data: bytes):
         """A synchronous O_DIRECT positional write (sector aligned)."""
@@ -248,10 +304,20 @@ class Kernel:
         cost = self.cost
         yield from self.cpus.run_thread(cost.kernel_crossing_ns +
                                         cost.syscall_ns)
+        span = 0
+        if self.bus.enabled:
+            span = self.bus.span_start("sys_pwrite", self.sim.now,
+                                       pid=proc.pid, path="write")
+            self._emit_syscall("pwrite", proc.pid, path="write", span=span)
         yield from self.cpus.run_thread(cost.filesystem_ns)
         self.fs.ensure_allocated(file.inode, offset, len(data))
-        segments = self.fs.map_range(file.inode, offset, len(data))
+        segments = self.fs.map_range(file.inode, offset, len(data),
+                                     span=span, path="write")
         yield from self.cpus.run_thread(cost.bio_ns)
+        if self.bus.enabled:
+            self.bus.emit(obs_events.BIO_SUBMIT, self.sim.now,
+                          cpu_ns=cost.bio_ns, segments=len(segments),
+                          span=span, path="write")
         events = []
         consumed = 0
         for lba, sectors in segments:
@@ -261,6 +327,10 @@ class Kernel:
             event = self.sim.event()
             command = NvmeCommand("write", lba, sectors, data=chunk,
                                   cookie=IoCookie("irq", event=event))
+            if span:
+                command.span = span
+                command.path = "write"
+                command.driver_ns = cost.nvme_driver_ns
             self.device.submit(command)
             events.append(event)
         for event in events:
@@ -268,6 +338,11 @@ class Kernel:
             if completed.status != 0:
                 raise IoError(f"media error at lba {completed.lba}")
         yield from self.cpus.run_thread(cost.context_switch_ns)
+        if self.bus.enabled:
+            self.bus.emit(obs_events.CONTEXT_SWITCH, self.sim.now,
+                          cpu_ns=cost.context_switch_ns, span=span,
+                          path="write")
+            self.bus.span_end(span, self.sim.now)
         file.inode.size = max(file.inode.size, offset + len(data))
         return len(data)
 
@@ -279,12 +354,21 @@ class Kernel:
         """Hybrid polling: spin for completions on microsecond devices."""
         return self.model.read_ns < self.cost.poll_threshold_ns
 
-    def _normal_read_path(self, file: File, offset: int, length: int):
+    def _normal_read_path(self, file: File, offset: int, length: int,
+                          span: int = 0, path: str = "normal"):
         """ext4 -> BIO -> driver -> device for one read; returns bytes."""
         cost = self.cost
         yield from self.cpus.run_thread(cost.filesystem_ns)
-        segments = self.fs.map_range(file.inode, offset, length)
+        segments = self.fs.map_range(file.inode, offset, length,
+                                     span=span, path=path)
         yield from self.cpus.run_thread(cost.bio_ns)
+        if self.bus.enabled:
+            self.bus.emit(obs_events.BIO_SUBMIT, self.sim.now,
+                          cpu_ns=cost.bio_ns, segments=len(segments),
+                          span=span, path=path)
+            if len(segments) > 1:
+                self.bus.emit(obs_events.BIO_SPLIT, self.sim.now,
+                              segments=len(segments), span=span, path=path)
 
         if self.should_poll():
             # The thread holds a core across submission and the device
@@ -299,6 +383,10 @@ class Kernel:
                     command = NvmeCommand(
                         "read", lba, sectors,
                         cookie=IoCookie("poll", event=event))
+                    if self.bus.enabled:
+                        command.span = span
+                        command.path = path
+                        command.driver_ns = cost.nvme_driver_ns
                     self.device.submit(command)
                     events.append(event)
                 chunks = []
@@ -319,6 +407,10 @@ class Kernel:
             event = self.sim.event()
             command = NvmeCommand("read", lba, sectors,
                                   cookie=IoCookie("irq", event=event))
+            if self.bus.enabled:
+                command.span = span
+                command.path = path
+                command.driver_ns = cost.nvme_driver_ns
             self.device.submit(command)
             events.append(event)
         chunks = []
@@ -328,6 +420,9 @@ class Kernel:
                 raise IoError(f"media error at lba {completed.lba}")
             chunks.append(completed.data)
         yield from self.cpus.run_thread(cost.context_switch_ns)
+        if self.bus.enabled:
+            self.bus.emit(obs_events.CONTEXT_SWITCH, self.sim.now,
+                          cpu_ns=cost.context_switch_ns, span=span, path=path)
         return b"".join(chunks)
 
     def submit_chain_command(self, command: NvmeCommand):
@@ -337,6 +432,8 @@ class Kernel:
         recycled resubmissions (IRQ context charges its own cost).
         """
         yield from self.cpus.run_thread(self.cost.nvme_driver_ns)
+        if self.bus.enabled:
+            command.driver_ns = self.cost.nvme_driver_ns
         self.device.submit(command)
 
     # ------------------------------------------------------------------
@@ -362,6 +459,10 @@ class Kernel:
         """The plain completion interrupt: bookkeeping, then wake the waiter."""
         self.irq_count += 1
         yield from self.cpus.run_irq(self.cost.irq_entry_ns)
+        if self.bus.enabled:
+            self.bus.emit(obs_events.IRQ_ENTRY, self.sim.now,
+                          cpu_ns=self.cost.irq_entry_ns, span=command.span,
+                          path=command.path)
         command.cookie.event.succeed(command)
 
     # ------------------------------------------------------------------

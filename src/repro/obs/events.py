@@ -1,0 +1,136 @@
+"""Typed tracepoint events for the simulated storage stack.
+
+Every layer of the stack publishes :class:`TraceEvent` records onto a
+:class:`~repro.obs.bus.TraceBus`.  Each event is stamped with *simulated*
+time (never wall-clock), so traces are a deterministic function of the
+workload and seed.
+
+Event catalogue (all fields are plain JSON-serialisable values):
+
+========================  =====================================================
+event type                emitted by / meaning
+========================  =====================================================
+``syscall_enter``         syscall dispatch layer: one boundary crossing.
+                          Fields: ``op`` (pread/open/ioctl/read_chain/
+                          io_uring_enter/reissue/...), ``pid``,
+                          ``crossing_ns``, ``syscall_ns``, ``path``, ``span``.
+``fs_resolve``            ext4 extent resolution (``ExtFs.map_range``):
+                          ``ino``, ``offset``, ``length``, ``segments``,
+                          ``cpu_ns``, ``span``, ``path``.
+``bio_submit``            block layer handed a request; ``cpu_ns``,
+                          ``segments``, ``span``, ``path``.
+``bio_split``             a request crossed discontiguous extents and the
+                          BIO layer split it; ``segments``, ``span``.
+``nvme_submit``           a command was posted to the device submission
+                          queue; ``opcode``, ``lba``, ``sectors``,
+                          ``source``, ``driver_ns``, ``queue_depth``.
+``nvme_complete``         device finished servicing a command;
+                          ``service_ns`` (media time, excludes queueing),
+                          ``queue_ns`` (time spent queued), ``status``.
+``irq_entry``             completion interrupt entry; ``cpu_ns``.
+``context_switch``        a blocked thread was woken; ``cpu_ns``.
+``app_process``           application-side per-lookup processing;
+                          ``cpu_ns``.
+``bpf_hook_dispatch``     a storage BPF program ran at a hook;
+                          ``hook`` ("nvme"/"syscall"/"user"), ``cpu_ns``,
+                          ``instructions``, ``action``.
+``bpf_helper_trace``      the ``trace_offset`` helper fired from inside a
+                          program; ``offset``.
+``chain_hop``             one completed hop of a resubmission chain;
+                          ``hop``, ``offset``, ``span``, ``parent``.
+``chain_kill``            the per-process fairness bound killed a chain;
+                          ``pid``, ``hops``.
+``chain_complete``        a chain delivered its result; ``hops``,
+                          ``status``, ``pid``.
+``extent_cache_install``  the install/refresh ioctl snapshotted extents;
+                          ``ino``, ``extents``, ``epoch``.
+``extent_cache_hit``      a chained resubmission translated through the
+                          NVMe-layer snapshot; ``ino``, ``offset``.
+``extent_cache_miss``     translation fell outside the snapshot (EEXTENT).
+``extent_cache_split``    translation crossed discontiguous extents.
+``extent_cache_invalidate``  an unmap invalidated a snapshot; ``ino``.
+``extent_change``         the file system grew/unmapped extents;
+                          ``ino``, ``kind``.
+``resubmit_drain``        per-pid chained-resubmission counters drained to
+                          the BIO layer; ``pids`` (pid -> count),
+                          ``total``.
+``span_start``            a span opened; ``span``, ``parent``, ``name``.
+``span_end``              a span closed; ``span`` plus result attributes.
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = [
+    "APP_PROCESS",
+    "BIO_SPLIT",
+    "BIO_SUBMIT",
+    "BPF_HELPER_TRACE",
+    "BPF_HOOK_DISPATCH",
+    "CHAIN_COMPLETE",
+    "CHAIN_HOP",
+    "CHAIN_KILL",
+    "CONTEXT_SWITCH",
+    "EXTENT_CACHE_HIT",
+    "EXTENT_CACHE_INSTALL",
+    "EXTENT_CACHE_INVALIDATE",
+    "EXTENT_CACHE_MISS",
+    "EXTENT_CACHE_SPLIT",
+    "EXTENT_CHANGE",
+    "FS_RESOLVE",
+    "IRQ_ENTRY",
+    "NVME_COMPLETE",
+    "NVME_SUBMIT",
+    "RESUBMIT_DRAIN",
+    "SPAN_END",
+    "SPAN_START",
+    "SYSCALL_ENTER",
+    "TraceEvent",
+]
+
+SYSCALL_ENTER = "syscall_enter"
+FS_RESOLVE = "fs_resolve"
+BIO_SUBMIT = "bio_submit"
+BIO_SPLIT = "bio_split"
+NVME_SUBMIT = "nvme_submit"
+NVME_COMPLETE = "nvme_complete"
+IRQ_ENTRY = "irq_entry"
+CONTEXT_SWITCH = "context_switch"
+APP_PROCESS = "app_process"
+BPF_HOOK_DISPATCH = "bpf_hook_dispatch"
+BPF_HELPER_TRACE = "bpf_helper_trace"
+CHAIN_HOP = "chain_hop"
+CHAIN_KILL = "chain_kill"
+CHAIN_COMPLETE = "chain_complete"
+EXTENT_CACHE_INSTALL = "extent_cache_install"
+EXTENT_CACHE_HIT = "extent_cache_hit"
+EXTENT_CACHE_MISS = "extent_cache_miss"
+EXTENT_CACHE_SPLIT = "extent_cache_split"
+EXTENT_CACHE_INVALIDATE = "extent_cache_invalidate"
+EXTENT_CHANGE = "extent_change"
+RESUBMIT_DRAIN = "resubmit_drain"
+SPAN_START = "span_start"
+SPAN_END = "span_end"
+
+
+class TraceEvent:
+    """One published tracepoint record.
+
+    ``ts`` is simulated nanoseconds; ``etype`` is one of the module
+    constants; ``fields`` holds the event-specific payload.
+    """
+
+    __slots__ = ("ts", "etype", "fields")
+
+    def __init__(self, ts: int, etype: str, fields: Dict[str, Any]):
+        self.ts = ts
+        self.etype = etype
+        self.fields = fields
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def __repr__(self) -> str:
+        return f"TraceEvent({self.etype} @{self.ts} {self.fields})"

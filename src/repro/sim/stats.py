@@ -84,7 +84,15 @@ class LatencyRecorder:
         return self.percentile(0.99)
 
     def summary(self) -> Dict[str, float]:
-        """A dict of the headline statistics (all in nanoseconds)."""
+        """A dict of the headline statistics (all in nanoseconds).
+
+        An empty recorder yields a well-formed all-zero summary rather
+        than raising, so callers can serialise results of experiments
+        whose measurement window completed no operations.
+        """
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p99": 0.0}
         return {
             "count": self.count,
             "mean": self.mean,
@@ -131,8 +139,15 @@ class ThroughputMeter:
         return self._end - self._start
 
     def ops_per_sec(self) -> float:
-        """Completed operations per simulated second."""
+        """Completed operations per simulated second.
+
+        A zero-length (or never-started) window reports ``0.0`` instead
+        of raising: an experiment that finished before any simulated
+        time elapsed simply has no throughput.
+        """
+        if self._start is None:
+            return 0.0
         elapsed = self.elapsed_ns
         if elapsed <= 0:
-            raise ValueError(f"{self.name!r} has an empty window")
+            return 0.0
         return self.completed * 1e9 / elapsed

@@ -12,6 +12,7 @@ from repro.device import (
     NVM_GEN2,
     NvmeCommand,
     NvmeDevice,
+    TraceEntry,
 )
 from repro.errors import InvalidArgument, IoError
 from repro.sim import RandomStreams, Simulator
@@ -189,6 +190,25 @@ def test_nvme_trace_records_source():
     assert trace.count(source="bpf-recycle") == 1
     assert trace.count(source="bio") == 1
     assert all(entry.service_ns == 1000 for entry in trace)
+
+
+def test_io_trace_ring_buffer_bounds_memory():
+    trace = IoTrace(max_entries=4)
+    for lba in range(10):
+        trace.record(TraceEntry(submit_ns=lba, complete_ns=lba + 1,
+                                opcode="read", lba=lba, sectors=1,
+                                source="bio" if lba % 2 else "bpf-recycle"))
+    assert len(trace) == 4
+    assert trace.recorded_total == 10
+    # Only the newest max_entries are retained, and count() agrees.
+    assert [entry.lba for entry in trace] == [6, 7, 8, 9]
+    assert trace.count(source="bio") == 2
+    assert trace.count(source="bpf-recycle") == 2
+
+
+def test_io_trace_rejects_bad_max_entries():
+    with pytest.raises(ValueError):
+        IoTrace(max_entries=0)
 
 
 def test_nvme_command_validation():

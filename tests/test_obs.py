@@ -1,0 +1,276 @@
+"""Observability: trace bus, metrics registry, span trees, JSONL export."""
+
+import json
+
+import pytest
+
+from chainutil import build_machine, install_walker, linked_file_bytes
+from repro.obs import (
+    ATTRIBUTION,
+    JsonlRecorder,
+    LayerAttribution,
+    MetricsRegistry,
+    ObsSession,
+    SpanCollector,
+    TraceBus,
+    attach_standard_metrics,
+    dump_metrics_jsonl,
+    events,
+    get_default_bus,
+    load_metrics_jsonl,
+)
+
+ORDER = [3, 5, 0, 7, 2, 6, 1, 4]
+
+
+def chain_machine(bus=None, order=ORDER):
+    kwargs = {"bus": bus} if bus is not None else {}
+    sim, kernel, bpf = build_machine(**kwargs)
+    kernel.create_file("/list", linked_file_bytes(order))
+    proc, fd = install_walker(sim, kernel, bpf, "/list")
+    return sim, kernel, bpf, proc, fd
+
+
+def run_chain(kernel, bpf, proc, fd, offset=ORDER[0] * 4096):
+    def workload():
+        return (yield from bpf.read_chain(proc, fd, offset, 4096))
+
+    return kernel.run_syscall(workload())
+
+
+# ---------------------------------------------------------------------------
+# Bus basics and determinism
+# ---------------------------------------------------------------------------
+
+
+def test_bus_dispatches_by_type_and_wildcard():
+    bus = TraceBus(enabled=True)
+    typed, wild = [], []
+    bus.subscribe(typed.append, events.CHAIN_HOP)
+    bus.subscribe(wild.append)
+    bus.emit(events.CHAIN_HOP, 10, hop=1)
+    bus.emit(events.CHAIN_KILL, 20, pid=7)
+    assert [e.etype for e in typed] == [events.CHAIN_HOP]
+    assert [e.etype for e in wild] == [events.CHAIN_HOP, events.CHAIN_KILL]
+    assert typed[0].ts == 10 and typed[0].get("hop") == 1
+    assert bus.events_emitted == 2
+
+
+def test_bus_events_are_ordered_by_simulated_time():
+    bus = TraceBus(enabled=True)
+    recorder = JsonlRecorder(bus)
+    _, kernel, bpf, proc, fd = chain_machine(bus=bus)
+    run_chain(kernel, bpf, proc, fd)
+    assert bus.events_emitted > 0
+    stamps = [json.loads(line)["ts"] for line in recorder.lines]
+    assert stamps == sorted(stamps)
+
+
+def test_trace_jsonl_is_deterministic_across_runs():
+    texts = []
+    for _ in range(2):
+        bus = TraceBus(enabled=True)
+        recorder = JsonlRecorder(bus)
+        _, kernel, bpf, proc, fd = chain_machine(bus=bus)
+        run_chain(kernel, bpf, proc, fd)
+        texts.append(recorder.text())
+    assert texts[0] == texts[1]
+
+
+# ---------------------------------------------------------------------------
+# Disabled bus: the no-op fast path
+# ---------------------------------------------------------------------------
+
+
+def test_disabled_bus_is_a_noop():
+    bus = TraceBus(enabled=False)
+    seen = []
+    bus.subscribe(seen.append)
+    bus.emit(events.CHAIN_HOP, 5, hop=1)
+    sid = bus.span_start("x", 5)
+    bus.span_end(sid, 6)
+    assert seen == []
+    assert sid == 0
+    assert bus.events_emitted == 0
+
+
+def test_default_bus_is_disabled_and_workload_emits_nothing():
+    assert not get_default_bus().enabled
+    _, kernel, bpf, proc, fd = chain_machine()
+    result = run_chain(kernel, bpf, proc, fd)
+    assert result.ok
+    assert kernel.bus.events_emitted == 0
+
+
+def test_observation_does_not_perturb_the_simulation():
+    _, kernel_off, bpf_off, proc_off, fd_off = chain_machine()
+    plain = run_chain(kernel_off, bpf_off, proc_off, fd_off)
+    bus = TraceBus(enabled=True)
+    _, kernel_on, bpf_on, proc_on, fd_on = chain_machine(bus=bus)
+    observed = run_chain(kernel_on, bpf_on, proc_on, fd_on)
+    assert (plain.value, plain.hops) == (observed.value, observed.hops)
+    assert kernel_off.sim.now == kernel_on.sim.now
+
+
+# ---------------------------------------------------------------------------
+# Span trees
+# ---------------------------------------------------------------------------
+
+
+def test_chain_span_tree_parent_child_integrity():
+    bus = TraceBus(enabled=True)
+    spans = SpanCollector(bus)
+    _, kernel, bpf, proc, fd = chain_machine(bus=bus)
+    result = run_chain(kernel, bpf, proc, fd)
+    assert result.hops == len(ORDER)
+
+    roots = spans.find_roots("read_chain")
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.parent == 0
+    assert root.end_ns is not None and root.end_ns >= root.start_ns
+    # One hop span per completion-side dispatch, all parented on the root.
+    hops = [child for child in root.children if child.name == "chain_hop"]
+    assert len(hops) == len(ORDER)
+    assert [h.attrs["hop"] for h in hops] == list(range(1, len(ORDER) + 1))
+    for hop in hops:
+        assert hop.parent == root.sid
+        assert hop.end_ns is not None
+        assert hop.start_ns >= root.start_ns
+    # The chain setup charges fs/bio once, on the root span.
+    assert root.layers.get("ext4", 0) > 0
+    assert root.layers.get("bio", 0) > 0
+    # Recycled hops never touch those layers; they pay irq + bpf (+ device
+    # for every hop that issued another I/O).
+    for hop in hops:
+        assert "ext4" not in hop.layers and "bio" not in hop.layers
+        assert hop.layers.get("irq", 0) > 0
+        assert hop.layers.get("bpf", 0) > 0
+    issuing = [h for h in hops if "storage device" in h.layers]
+    assert len(issuing) == len(ORDER) - 1  # the final hop returns a value
+
+    rendered = "\n".join(spans.render_span(root))
+    assert "read_chain" in rendered and "chain_hop" in rendered
+
+
+def test_baseline_read_spans_show_full_stack():
+    bus = TraceBus(enabled=True)
+    spans = SpanCollector(bus)
+    sim, kernel, _ = build_machine(bus=bus)
+    kernel.create_file("/flat", bytes(8192))
+    proc = kernel.spawn_process()
+
+    def workload():
+        fd = yield from kernel.sys_open(proc, "/flat")
+        yield from kernel.sys_pread(proc, fd, 0, 4096)
+
+    kernel.run_syscall(workload())
+    roots = spans.find_roots("sys_pread")
+    assert len(roots) == 1
+    layers = roots[0].layers
+    for layer in ("ext4", "bio", "NVMe driver", "storage device"):
+        assert layers.get(layer, 0) > 0, layer
+
+
+# ---------------------------------------------------------------------------
+# Attribution
+# ---------------------------------------------------------------------------
+
+
+def test_chain_attribution_matches_cost_model():
+    bus = TraceBus(enabled=True)
+    attribution = LayerAttribution(bus)
+    _, kernel, bpf, proc, fd = chain_machine(bus=bus)
+    run_chain(kernel, bpf, proc, fd)
+    cost = kernel.cost
+    # ext4 and bio are charged once per chain, not once per hop.
+    assert attribution.layer_ns("chain", "ext4") == cost.filesystem_ns
+    assert attribution.layer_ns("chain", "bio") == cost.bio_ns
+    # Driver submission cost accrues on every hop that issued an I/O.
+    assert attribution.layer_ns("chain", "NVMe driver") == \
+        cost.nvme_driver_ns * len(ORDER)
+    assert attribution.hops == len(ORDER)
+    assert attribution.ops.get("chain") == 1
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry and JSONL round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_snapshot_roundtrip_through_jsonl():
+    registry = MetricsRegistry()
+    counter = registry.counter("reads_total", "reads")
+    counter.inc(3, path="normal")
+    counter.inc(1, path="chain")
+    registry.gauge("depth", "queue depth").set(7)
+    histogram = registry.histogram("lat", buckets=[10, 100], help="ns")
+    histogram.observe(5)
+    histogram.observe(50)
+    histogram.observe(5000)
+    text = dump_metrics_jsonl(registry)
+    assert load_metrics_jsonl(text) == registry.snapshot()
+    # And the dump itself is deterministic.
+    assert text == dump_metrics_jsonl(registry)
+
+
+def test_standard_metrics_from_chain_workload():
+    bus = TraceBus(enabled=True)
+    registry = MetricsRegistry()
+    attach_standard_metrics(bus, registry)
+    _, kernel, bpf, proc, fd = chain_machine(bus=bus)
+    run_chain(kernel, bpf, proc, fd)
+    snapshot = {m["name"]: m for m in registry.snapshot()}
+    assert snapshot["chain_hops_total"]["samples"][0]["value"] == len(ORDER)
+    hist = snapshot["chain_depth"]["samples"][0]
+    assert hist["count"] == 1 and hist["sum"] == len(ORDER)
+    sources = {tuple(sorted(s["labels"].items())): s["value"]
+               for s in snapshot["nvme_commands_total"]["samples"]}
+    assert sources[(("source", "bpf-recycle"),)] == len(ORDER) - 1
+    assert sources[(("source", "bio"),)] == 1
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("m", "help")
+    with pytest.raises(ValueError):
+        registry.gauge("m", "help")
+
+
+def test_attribution_covers_all_table1_layers():
+    layers = set(ATTRIBUTION.values())
+    for layer in ("kernel crossing", "read syscall", "ext4", "bio",
+                  "NVMe driver", "storage device"):
+        assert layer in layers
+
+
+# ---------------------------------------------------------------------------
+# ObsSession end-to-end
+# ---------------------------------------------------------------------------
+
+
+def test_obs_session_installs_and_restores_default_bus():
+    before = get_default_bus()
+    with ObsSession() as obs:
+        assert get_default_bus() is obs.bus
+        _, kernel, bpf, proc, fd = chain_machine()
+        assert kernel.bus is obs.bus
+        run_chain(kernel, bpf, proc, fd)
+    assert get_default_bus() is before
+    report = obs.render_report()
+    assert "Per-layer CPU-ns attribution" in report
+    assert "chain bypass" in report
+    assert "read_chain" in report
+
+
+def test_obs_session_trace_jsonl_write(tmp_path):
+    with ObsSession(record_jsonl=True) as obs:
+        _, kernel, bpf, proc, fd = chain_machine()
+        run_chain(kernel, bpf, proc, fd)
+    target = tmp_path / "trace.jsonl"
+    count = obs.write_trace_jsonl(str(target))
+    lines = target.read_text().splitlines()
+    assert len(lines) == count == obs.bus.events_emitted
+    for line in lines:
+        record = json.loads(line)
+        assert "ts" in record and "type" in record

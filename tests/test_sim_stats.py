@@ -62,6 +62,12 @@ def test_latency_recorder_empty_mean_rejected():
         _ = rec.mean
 
 
+def test_latency_recorder_empty_summary_is_well_formed():
+    summary = LatencyRecorder().summary()
+    assert summary == {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                       "p50": 0.0, "p99": 0.0}
+
+
 def test_latency_recorder_thinning_preserves_extremes_and_count():
     rec = LatencyRecorder(max_samples=64)
     for value in range(1000):
@@ -105,9 +111,12 @@ def test_throughput_meter_requires_start():
         meter.record(10)
 
 
-def test_throughput_meter_empty_window_rejected():
+def test_throughput_meter_empty_window_reports_zero():
     meter = ThroughputMeter()
     meter.start(100)
     meter.record(100)
-    with pytest.raises(ValueError):
-        meter.ops_per_sec()
+    assert meter.ops_per_sec() == 0.0
+
+
+def test_throughput_meter_unstarted_reports_zero():
+    assert ThroughputMeter().ops_per_sec() == 0.0
