@@ -11,6 +11,7 @@ and that the disabled path emits nothing.
 import time
 
 from repro.bench import fig3_throughput
+from repro.faults import FaultSpec, fault_injection
 from repro.obs import ObsSession, get_default_bus
 
 QUICK = {"hook": "nvme", "depths": (4,), "threads": (1, 6),
@@ -47,6 +48,34 @@ def test_obs_disabled_is_noop(benchmark):
     # The disabled path must never be slower than full observation
     # (small tolerance for timer noise on a ~1 s workload).
     assert disabled_s < enabled_s * 1.10
+
+
+def test_fault_hooks_are_noop_when_idle(benchmark):
+    """An armed all-zero-rate fault plan neither perturbs nor slows runs.
+
+    The fault-injection call sites follow the same discipline as the
+    tracepoints: with no plan armed they are a ``None`` check, and even a
+    plan whose every rate is zero must leave the simulated results
+    byte-identical (the plan draws from its own RNG streams, never the
+    device's).  The wall-clock cost of the armed-but-idle hooks must stay
+    within a few percent of the unhooked run.
+    """
+    rows_plain = benchmark.pedantic(_run_disabled, rounds=1, iterations=1)
+
+    idle_spec = FaultSpec(seed=5)
+    assert not idle_spec.any_faults()
+    start = time.perf_counter()
+    with fault_injection(idle_spec):
+        rows_armed = fig3_throughput(**QUICK)
+    armed_s = time.perf_counter() - start
+
+    assert rows_armed == rows_plain
+    plain_s = benchmark.stats.stats.mean
+    benchmark.extra_info["armed_s"] = round(armed_s, 4)
+    benchmark.extra_info["overhead_x"] = round(armed_s / plain_s, 3)
+    # Same tolerance style as the bus test: the target is <2 % overhead,
+    # asserted with headroom for timer noise on a ~1 s workload.
+    assert armed_s < plain_s * 1.10
 
 
 def test_disabled_emit_is_cheap():

@@ -6,7 +6,8 @@
 * :mod:`~repro.bench.experiments` — the figure/table reproductions:
   ``fig1_latency_breakdown``, ``table1_breakdown``, ``fig3_throughput``
   (3a/3b), ``fig3c_latency``, ``fig3d_iouring``, ``extent_stability``
-  (§4's YCSB measurement), and the ablations.
+  (§4's YCSB measurement), ``fault_resilience`` (availability under an
+  injected fault plan), and the ablations.
 
 Each experiment returns plain row dictionaries so the ``benchmarks/``
 pytest files, ``EXPERIMENTS.md``, and tests all consume the same data.
@@ -19,6 +20,7 @@ from repro.bench.experiments import (
     ablation_resubmit_bound,
     ablation_vm_mode,
     extent_stability,
+    fault_resilience,
     fig1_latency_breakdown,
     fig3_throughput,
     fig3c_latency,
@@ -35,6 +37,7 @@ __all__ = [
     "ablation_resubmit_bound",
     "ablation_vm_mode",
     "extent_stability",
+    "fault_resilience",
     "fig1_latency_breakdown",
     "fig3_throughput",
     "fig3c_latency",

@@ -5,12 +5,16 @@ Commands:
 * ``report [--quick]`` — run every experiment and print its paper-style
   table (``--quick`` runs miniature versions in a few seconds).
 * ``experiment <name>`` — run one experiment (fig1, table1, fig3a, fig3b,
-  fig3c, fig3d, stability, bound, churn, vmmode, appcache, interference).
+  fig3c, fig3d, stability, bound, churn, vmmode, appcache, interference,
+  resilience).
   ``--json`` prints the rows as JSON instead of a table; ``--trace-jsonl
-  PATH`` additionally records the full tracepoint stream to ``PATH``.
+  PATH`` additionally records the full tracepoint stream to ``PATH``;
+  ``--fault-plan SPEC`` arms a deterministic fault plan (see
+  ``docs/faults.md``) for every kernel the experiment builds.
 * ``metrics <name>`` — run one experiment under the observability bus and
   print per-layer CPU-ns attribution (reconciled against Table 1), the
-  chain-bypass summary, stack-health metrics, and exemplar span trees.
+  chain-bypass summary, stack-health metrics (including fault-path
+  counters when ``--fault-plan`` is armed), and exemplar span trees.
 * ``disasm <program>`` — print a library program's verified assembly
   (index, scan, linked, wisckey).
 * ``verify-demo`` — show the verifier accepting a safe program and
@@ -20,6 +24,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Dict, List
 
@@ -29,6 +34,7 @@ from repro.bench import (
     ablation_resubmit_bound,
     ablation_vm_mode,
     extent_stability,
+    fault_resilience,
     fig1_latency_breakdown,
     fig3_throughput,
     fig3c_latency,
@@ -38,6 +44,7 @@ from repro.bench import (
     rows_to_json,
     table1_breakdown,
 )
+from repro.faults import fault_injection, parse_fault_spec
 from repro.obs import ObsSession
 
 __all__ = ["main"]
@@ -104,6 +111,11 @@ _EXPERIMENTS = {
                      lambda quick: interference(
                          chain_threads=6 if quick else 12,
                          duration_ns=2_000_000 if quick else 8_000_000)),
+    "resilience": ("Fault plan — availability and p99 of chained reads",
+                   lambda quick: fault_resilience(
+                       rates=(0.0, 0.01) if quick
+                       else (0.0, 0.001, 0.01, 0.05),
+                       duration_ns=1_500_000 if quick else 4_000_000)),
 }
 
 _PROGRAMS = {
@@ -134,15 +146,24 @@ def _touch(path: str) -> None:
         pass
 
 
+def _fault_context(args):
+    """A context manager arming ``--fault-plan``, or a no-op without it."""
+    spec = getattr(args, "fault_plan", None)
+    if not spec:
+        return contextlib.nullcontext()
+    return fault_injection(parse_fault_spec(spec))
+
+
 def _cmd_experiment(args) -> int:
     title, runner = _EXPERIMENTS[args.name]
-    if args.trace_jsonl:
-        _touch(args.trace_jsonl)
-        with ObsSession(record_jsonl=True) as obs:
+    with _fault_context(args):
+        if args.trace_jsonl:
+            _touch(args.trace_jsonl)
+            with ObsSession(record_jsonl=True) as obs:
+                rows = runner(args.quick)
+            obs.write_trace_jsonl(args.trace_jsonl)
+        else:
             rows = runner(args.quick)
-        obs.write_trace_jsonl(args.trace_jsonl)
-    else:
-        rows = runner(args.quick)
     if args.json:
         print(rows_to_json(title, rows))
     else:
@@ -154,8 +175,9 @@ def _cmd_metrics(args) -> int:
     title, runner = _EXPERIMENTS[args.name]
     if args.trace_jsonl:
         _touch(args.trace_jsonl)
-    with ObsSession(record_jsonl=bool(args.trace_jsonl)) as obs:
-        runner(args.quick)
+    with _fault_context(args):
+        with ObsSession(record_jsonl=bool(args.trace_jsonl)) as obs:
+            runner(args.quick)
     if args.trace_jsonl:
         obs.write_trace_jsonl(args.trace_jsonl)
     print(f"{title} — observability report")
@@ -246,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="print result rows as JSON")
     experiment.add_argument("--trace-jsonl", metavar="PATH", default=None,
                             help="record the tracepoint stream to PATH")
+    experiment.add_argument(
+        "--fault-plan", metavar="SPEC", default=None,
+        help="arm a fault plan, e.g. "
+             "'seed=7,read_error_rate=0.01,error_burst=2'")
     experiment.set_defaults(func=_cmd_experiment)
 
     metrics = sub.add_parser(
@@ -254,6 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--quick", action="store_true")
     metrics.add_argument("--trace-jsonl", metavar="PATH", default=None,
                          help="record the tracepoint stream to PATH")
+    metrics.add_argument(
+        "--fault-plan", metavar="SPEC", default=None,
+        help="arm a fault plan, e.g. "
+             "'seed=7,read_error_rate=0.01,error_burst=2'")
     metrics.set_defaults(func=_cmd_metrics)
 
     disasm = sub.add_parser("disasm",

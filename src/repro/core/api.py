@@ -227,6 +227,10 @@ class StorageBpf:
         * ``EEXTENT`` → re-run the ioctl (refresh) and retry from scratch;
         * ``SPLIT_FALLBACK`` → execute the program in user space over the
           buffer the kernel fetched, then restart the chain at the next hop;
+        * ``FAULT_FALLBACK`` → a faulted hop exhausted the in-kernel retry
+          budget and the kernel degraded gracefully: restart a fresh
+          bounded chain from the faulted hop (the transient episode
+          recovers under the fault plan's burst semantics);
         * ``CHAIN_LIMIT`` → with ``continue_on_limit``, start a fresh
           bounded chain from where the killed one stopped (each kernel
           chain stays within the fairness bound); otherwise raise
@@ -240,11 +244,13 @@ class StorageBpf:
         current_offset = offset
         current_scratch = scratch_init
         total_hops = 0
+        last_status = None
         for _attempt in range(max_retries):
             result = yield from self.read_chain(proc, fd, current_offset,
                                                 length, args,
                                                 current_scratch)
             total_hops += result.hops
+            last_status = result.status
             if result.ok:
                 result.hops = total_hops
                 return result
@@ -273,6 +279,13 @@ class StorageBpf:
                 raise IoError(
                     f"media error during chain at offset "
                     f"{result.final_offset}")
+            if result.status == ReadResult.FAULT_FALLBACK:
+                # The kernel degraded a faulted chain; restart a fresh
+                # bounded chain from the hop that faulted, keeping the
+                # scratch continuation.
+                current_offset = result.final_offset
+                current_scratch = result.scratch or b""
+                continue
             if result.status == ReadResult.CHAIN_LIMIT:
                 if not continue_on_limit:
                     raise ChainLimitExceeded(
@@ -282,6 +295,12 @@ class StorageBpf:
                 current_scratch = result.scratch or b""
                 continue
             raise InvalidArgument(f"unexpected chain status {result.status}")
+        if last_status == ReadResult.FAULT_FALLBACK:
+            from repro.errors import IoError
+
+            raise IoError(
+                f"chain did not recover from injected faults after "
+                f"{max_retries} attempts (offset {current_offset})")
         raise ExtentInvalidated(
             f"chain did not settle after {max_retries} retries")
 

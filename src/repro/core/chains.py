@@ -29,7 +29,7 @@ from __future__ import annotations
 import struct
 from typing import Any, Callable, Optional, Tuple
 
-from repro.device import NvmeCommand
+from repro.device import NvmeCommand, STATUS_TIMEOUT
 from repro.errors import IoError
 from repro.kernel import Kernel, ReadResult
 from repro.kernel.kernel import IoCookie
@@ -63,7 +63,7 @@ class ChainState:
     """Mutable state of one in-flight chain."""
 
     __slots__ = ("proc", "file", "install", "offset", "length", "scratch",
-                 "args", "hops", "deliver", "done", "span")
+                 "args", "hops", "attempts", "deliver", "done", "span")
 
     def __init__(self, proc: Process, file: File, install: BpfInstallation,
                  offset: int, length: int, args: Tuple[int, ...],
@@ -78,6 +78,8 @@ class ChainState:
         self.scratch[: len(scratch_init)] = scratch_init
         self.args = args
         self.hops = 0
+        #: Consecutive retries of the current hop's read (reset on success).
+        self.attempts = 0
         self.deliver = deliver
         self.done = False
         #: Root span id of this chain (0 when tracing is disabled).
@@ -104,6 +106,8 @@ class ChainEngine:
         self.chains_completed = 0
         self.split_fallbacks = 0
         self.extent_aborts = 0
+        self.fault_retries = 0
+        self.fault_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Program execution (shared by both hooks)
@@ -183,32 +187,43 @@ class ChainEngine:
                 bus.emit(obs_events.BIO_SPLIT, kernel.sim.now,
                          segments=len(segments), span=span, path="chain")
             chunks = []
+            failed = False
             for lba, sectors in segments:
-                yield from kernel.cpus.run_thread(cost.nvme_driver_ns)
-                event = kernel.sim.event()
-                command = NvmeCommand("read", lba, sectors,
-                                      cookie=IoCookie("irq", event=event))
-                if bus.enabled:
-                    command.span = span
-                    command.path = "chain"
-                    command.driver_ns = cost.nvme_driver_ns
-                kernel.device.submit(command)
-                completed = yield event
+                if kernel.retry_enabled:
+                    try:
+                        completed = yield from kernel._nvme_rw_retry(
+                            "read", lba, sectors, None, span, "chain")
+                    except IoError:
+                        failed = True
+                        break
+                else:
+                    yield from kernel.cpus.run_thread(cost.nvme_driver_ns)
+                    event = kernel.sim.event()
+                    command = NvmeCommand("read", lba, sectors,
+                                          cookie=IoCookie("irq", event=event))
+                    if bus.enabled:
+                        command.span = span
+                        command.path = "chain"
+                        command.driver_ns = cost.nvme_driver_ns
+                    kernel.device.submit(command)
+                    completed = yield event
+                    if completed.status != 0:
+                        failed = True
+                        break
                 chunks.append(completed.data)
             yield from kernel.cpus.run_thread(cost.context_switch_ns)
-            self.split_fallbacks += 1
+            status = ReadResult.EIO if failed else ReadResult.SPLIT_FALLBACK
+            if not failed:
+                self.split_fallbacks += 1
             if bus.enabled:
                 bus.emit(obs_events.CONTEXT_SWITCH, kernel.sim.now,
                          cpu_ns=cost.context_switch_ns, span=span,
                          path="chain")
                 bus.emit(obs_events.CHAIN_COMPLETE, kernel.sim.now,
-                         hops=1, status=ReadResult.SPLIT_FALLBACK,
-                         pid=proc.pid, span=span)
-                bus.span_end(span, kernel.sim.now,
-                             status=ReadResult.SPLIT_FALLBACK, hops=1)
-            return ReadResult(b"".join(chunks),
-                              status=ReadResult.SPLIT_FALLBACK, hops=1,
-                              final_offset=offset,
+                         hops=1, status=status, pid=proc.pid, span=span)
+                bus.span_end(span, kernel.sim.now, status=status, hops=1)
+            return ReadResult(b"" if failed else b"".join(chunks),
+                              status=status, hops=1, final_offset=offset,
                               scratch=bytes(state.scratch))
 
         lba, sectors = segments[0]
@@ -328,13 +343,30 @@ class ChainEngine:
                          path="chain")
 
             if command.status != 0:
-                # Media error mid-chain: surface it, do not run the program.
+                policy = kernel.retry_policy
+                if policy is not None and policy.enabled:
+                    yield from self._handle_faulted_hop(state, command,
+                                                        hop_span)
+                    return
+                # No retry policy: surface it, do not run the program.
                 state.finish(ReadResult(b"", status=ReadResult.EIO,
                                         hops=state.hops,
                                         final_offset=state.offset))
                 return
+            state.attempts = 0
 
             entry = install.cache_entry
+            plan = kernel.fault_plan
+            if plan is not None and entry is not None and entry.valid and \
+                    plan.stale_due(kernel.sim.now):
+                # Fault-plan staleness: the snapshot silently expired; the
+                # hop observes the invalidation and aborts with EEXTENT,
+                # exercising the refresh protocol.
+                self.cache.force_invalidate(entry, reason="fault")
+                if bus.enabled:
+                    bus.emit(obs_events.FAULT_INJECT, kernel.sim.now,
+                             kind="stale", ino=entry.ino, span=hop_span,
+                             path="chain")
             if entry is None or not entry.valid:
                 # Invalidated mid-chain: discard the recycled I/O, error out.
                 self.extent_aborts += 1
@@ -451,6 +483,66 @@ class ChainEngine:
             if hop_span:
                 bus.span_end(hop_span, kernel.sim.now)
 
+    def _handle_faulted_hop(self, state: ChainState, command: NvmeCommand,
+                            hop_span: int):
+        """Recover a failed chain read in IRQ context (policy enabled).
+
+        Retries recycle the same descriptor with backoff, each retry
+        charged against the per-process resubmission bound exactly like a
+        program-driven hop.  When the bound or the retry budget runs out,
+        the chain degrades gracefully: it is handed back to the
+        application (``FAULT_FALLBACK``, like the split fallback) instead
+        of killing the request with a hard error.
+        """
+        kernel = self.kernel
+        cost = kernel.cost
+        bus = kernel.bus
+        policy = kernel.retry_policy
+        reason = ("timeout" if command.status == STATUS_TIMEOUT
+                  else "media")
+        if command.status == STATUS_TIMEOUT:
+            kernel.nvme_timeouts += 1
+            if bus.enabled:
+                bus.emit(obs_events.NVME_TIMEOUT, kernel.sim.now,
+                         opcode="read", lba=command.lba,
+                         timeout_ns=kernel.device.command_timeout_ns,
+                         attempt=state.attempts + 1, span=hop_span,
+                         path="chain")
+        if state.attempts < policy.max_retries and \
+                self.accounting.may_resubmit(state.proc.pid, state.hops):
+            state.attempts += 1
+            self.accounting.charge(state.proc.pid)
+            self.fault_retries += 1
+            kernel.nvme_retries += 1
+            backoff = policy.backoff_ns(state.attempts)
+            if bus.enabled:
+                bus.emit(obs_events.NVME_RETRY, kernel.sim.now,
+                         opcode="read", lba=command.lba, reason=reason,
+                         attempt=state.attempts, backoff_ns=backoff,
+                         span=hop_span, path="chain")
+            if backoff:
+                yield kernel.sim.timeout(backoff)
+            command.retarget(command.lba, command.sectors)
+            command.source = "chain-retry"
+            if bus.enabled:
+                command.span = hop_span
+                command.driver_ns = cost.nvme_driver_ns
+            yield from kernel.cpus.run_irq(cost.nvme_driver_ns)
+            kernel.device.submit(command)
+            return
+        # Budget exhausted: degrade to user space with the continuation
+        # (offset + scratch) so a robust caller restarts a fresh bounded
+        # chain from the faulted hop.
+        self.fault_fallbacks += 1
+        if bus.enabled:
+            bus.emit(obs_events.CHAIN_FALLBACK, kernel.sim.now,
+                     pid=state.proc.pid, hops=state.hops,
+                     offset=state.offset, reason=reason, span=hop_span,
+                     path="chain")
+        state.finish(ReadResult(b"", status=ReadResult.FAULT_FALLBACK,
+                                hops=state.hops, final_offset=state.offset,
+                                scratch=bytes(state.scratch)))
+
     # ------------------------------------------------------------------
     # Syscall-dispatch hook
     # ------------------------------------------------------------------
@@ -532,10 +624,19 @@ class _SplitReadFinisher:
         self.chunks = []
 
     def segment_done(self, event) -> None:
-        self.chunks.append(event.value.data)
+        state = self.state
+        if state.done:
+            return  # an earlier failed segment already delivered
+        command = event.value
+        if command.status != 0:
+            state.hops += 1
+            state.finish(ReadResult(b"", status=ReadResult.EIO,
+                                    hops=state.hops,
+                                    final_offset=state.offset))
+            return
+        self.chunks.append(command.data)
         self.remaining -= 1
         if self.remaining == 0:
-            state = self.state
             state.hops += 1
             state.finish(ReadResult(b"".join(self.chunks),
                                     status=ReadResult.SPLIT_FALLBACK,
@@ -553,11 +654,19 @@ class _SplitCollector:
         self.chunks = []
 
     def segment_done(self, event) -> None:
-        self.chunks.append(event.value.data)
+        state = self.state
+        if state.done:
+            return  # an earlier failed segment already delivered
+        command = event.value
+        if command.status != 0:
+            state.finish(ReadResult(b"", status=ReadResult.EIO, hops=1,
+                                    final_offset=state.offset))
+            return
+        self.chunks.append(command.data)
         self.remaining -= 1
         if self.remaining == 0:
-            self.state.finish(
+            state.finish(
                 ReadResult(b"".join(self.chunks),
                            status=ReadResult.SPLIT_FALLBACK, hops=1,
-                           final_offset=self.state.offset,
-                           scratch=bytes(self.state.scratch)))
+                           final_offset=state.offset,
+                           scratch=bytes(state.scratch)))

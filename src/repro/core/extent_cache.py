@@ -15,6 +15,7 @@ also require a refresh — the heavy-handed-but-simple protocol of the paper.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -42,23 +43,29 @@ class Translation:
 class CacheEntry:
     """One file's snapshotted extents, valid while ``valid`` is True."""
 
-    __slots__ = ("ino", "extents", "epoch", "valid", "bus", "clock")
+    __slots__ = ("ino", "extents", "epoch", "valid", "bus", "clock",
+                 "_starts")
 
     def __init__(self, ino: int, extents: List[Tuple[int, int, int]],
                  epoch: int, bus: TraceBus = NULL_BUS,
                  clock: Callable[[], int] = lambda: 0):
         self.ino = ino
         # (file_block, phys_block, count), sorted by file_block.
-        self.extents = extents
+        self.extents = sorted(extents)
         self.epoch = epoch
         self.valid = True
         self.bus = bus
         self.clock = clock
+        # Extent starts, for O(log n) block lookups on fragmented files.
+        self._starts = [extent[0] for extent in self.extents]
 
     def lookup_block(self, file_block: int) -> Optional[int]:
-        for start, phys, count in self.extents:
-            if start <= file_block < start + count:
-                return phys + (file_block - start)
+        index = bisect.bisect_right(self._starts, file_block) - 1
+        if index < 0:
+            return None
+        start, phys, count = self.extents[index]
+        if file_block < start + count:
+            return phys + (file_block - start)
         return None
 
     def translate(self, offset: int, length: int,
@@ -137,12 +144,19 @@ class NvmeExtentCache:
             return
         entry = self._entries.get(inode.number)
         if entry is not None and entry.valid:
-            entry.valid = False
-            self.invalidations += 1
-            if self.bus.enabled:
-                self.bus.emit(obs_events.EXTENT_CACHE_INVALIDATE,
-                              self.clock(), ino=inode.number,
-                              epoch=entry.epoch)
+            self.force_invalidate(entry, reason="unmap")
+
+    def force_invalidate(self, entry: CacheEntry,
+                         reason: str = "forced") -> None:
+        """Invalidate one snapshot (unmap hook, or fault-plan staleness)."""
+        if not entry.valid:
+            return
+        entry.valid = False
+        self.invalidations += 1
+        if self.bus.enabled:
+            self.bus.emit(obs_events.EXTENT_CACHE_INVALIDATE,
+                          self.clock(), ino=entry.ino, epoch=entry.epoch,
+                          reason=reason)
 
     def drop(self, inode: Inode) -> None:
         self._entries.pop(inode.number, None)

@@ -19,7 +19,13 @@ from repro.device.latency import (
     NVM_GEN2,
     LatencyModel,
 )
-from repro.device.nvme import NvmeCommand, NvmeDevice
+from repro.device.nvme import (
+    NvmeCommand,
+    NvmeDevice,
+    STATUS_MEDIA_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+)
 from repro.device.trace import IoTrace, TraceEntry
 
 __all__ = [
@@ -33,5 +39,8 @@ __all__ = [
     "NVM_GEN2",
     "NvmeCommand",
     "NvmeDevice",
+    "STATUS_MEDIA_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
     "TraceEntry",
 ]

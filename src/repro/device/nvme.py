@@ -22,7 +22,15 @@ from repro.obs import events as obs_events
 from repro.obs.bus import NULL_BUS, TraceBus
 from repro.sim import Simulator, Store
 
-__all__ = ["NvmeCommand", "NvmeDevice"]
+__all__ = ["NvmeCommand", "NvmeDevice", "STATUS_MEDIA_ERROR", "STATUS_OK",
+           "STATUS_TIMEOUT"]
+
+#: NVMe completion statuses.  Error completions (anything non-zero) carry
+#: ``data=None`` — never a short buffer — so the length invariant
+#: ``len(data) == sectors * 512`` holds exactly when ``status == 0``.
+STATUS_OK = 0
+STATUS_MEDIA_ERROR = 1
+STATUS_TIMEOUT = 2
 
 
 class NvmeCommand:
@@ -65,11 +73,21 @@ class NvmeCommand:
         self.driver_ns = 0
 
     def retarget(self, lba: int, sectors: int) -> None:
-        """Recycle this descriptor for a new read (the paper's §4 recycle)."""
+        """Recycle this descriptor for a new read (the paper's §4 recycle).
+
+        Clears everything the previous service stamped — payload, status,
+        and the submit/complete/driver timings — so traces and events for
+        the new hop cannot carry the previous hop's attribution.  ``span``
+        and ``path`` are caller-owned context and are left for the caller
+        to reassign.
+        """
         self.lba = lba
         self.sectors = sectors
         self.data = None
-        self.status = 0
+        self.status = STATUS_OK
+        self.submit_ns = -1
+        self.complete_ns = -1
+        self.driver_ns = 0
 
     def __repr__(self) -> str:
         return (f"NvmeCommand({self.opcode} lba={self.lba} "
@@ -96,6 +114,14 @@ class NvmeDevice:
         self.in_flight = 0
         self.completed = 0
         self.media_errors = 0
+        self.timeouts = 0
+        #: Optional :class:`repro.faults.FaultPlan` consulted once per
+        #: command as it enters a service slot (transients/timeouts/spikes).
+        self.fault_plan = None
+        #: Controller watchdog, programmed by the driver (0 = disarmed):
+        #: a command whose service would exceed this completes with
+        #: ``STATUS_TIMEOUT`` after exactly ``command_timeout_ns``.
+        self.command_timeout_ns = 0
         #: Fault injection: commands touching these LBAs complete with a
         #: non-zero status (media error) instead of moving data.
         self._failing_lbas: set = set()
@@ -121,6 +147,10 @@ class NvmeDevice:
     def submit(self, command: NvmeCommand) -> None:
         """Post a command to the submission queue (no CPU cost here; the
         driver charges its own submission cost)."""
+        if command.complete_ns != -1:
+            raise IoError(
+                f"stale NVMe descriptor resubmitted without retarget: "
+                f"{command!r}")
         command.submit_ns = self.sim.now
         self.in_flight += 1
         if self.bus.enabled:
@@ -142,8 +172,37 @@ class NvmeDevice:
                 latency = self.model.sample_read(self.rng)
             else:
                 latency = self.model.sample_write(self.rng)
+            fault = None
+            plan = self.fault_plan
+            if plan is not None:
+                fault = plan.media_decision(command, self.sim.now)
+                if fault == "spike":
+                    latency = max(1, int(latency * plan.spec.spike_factor))
+                if self.command_timeout_ns and \
+                        (fault == "timeout" or
+                         latency >= self.command_timeout_ns):
+                    # Timeout-faulted (or pathologically slow) commands
+                    # hold their service slot until the watchdog fires,
+                    # then complete with a timeout status and no data.
+                    fault = "timeout"
+                    latency = self.command_timeout_ns
+                if fault is not None and self.bus.enabled:
+                    self.bus.emit(obs_events.FAULT_INJECT, self.sim.now,
+                                  kind=fault, opcode=command.opcode,
+                                  lba=command.lba, sectors=command.sectors,
+                                  source=command.source, span=command.span,
+                                  path=command.path)
             yield self.sim.timeout(latency)
-            self._do_media(command)
+            if fault == "timeout":
+                command.status = STATUS_TIMEOUT
+                command.data = None
+                self.timeouts += 1
+            elif fault == "transient":
+                command.status = STATUS_MEDIA_ERROR
+                command.data = None
+                self.media_errors += 1
+            else:
+                self._do_media(command)
             command.complete_ns = self.sim.now
             self.in_flight -= 1
             self.completed += 1
@@ -170,12 +229,16 @@ class NvmeDevice:
 
     def _do_media(self, command: NvmeCommand) -> None:
         if self._command_fails(command):
-            command.status = 1  # NVMe media error
+            command.status = STATUS_MEDIA_ERROR
+            command.data = None
             self.media_errors += 1
-            if command.opcode == "read":
-                command.data = b""
             return
         if command.opcode == "read":
-            command.data = self.media.read(command.lba, command.sectors)
+            data = self.media.read(command.lba, command.sectors)
+            if len(data) != command.sectors * SECTOR_SIZE:
+                raise IoError(
+                    f"media returned {len(data)}B for "
+                    f"{command.sectors}-sector read")
+            command.data = data
         else:
             self.media.write(command.lba, command.data)

@@ -1,0 +1,32 @@
+"""Fault injection: deterministic fault plans for resilience experiments.
+
+See :mod:`repro.faults.plan` for the model, ``docs/faults.md`` for the
+full story (fault classes, the NVMe retry policy, chain degradation, and
+the observability additions).
+"""
+
+from repro.faults.plan import (
+    FAULT_SPIKE,
+    FAULT_STALE,
+    FAULT_TIMEOUT,
+    FAULT_TRANSIENT,
+    FaultPlan,
+    FaultSpec,
+    fault_injection,
+    get_default_fault_spec,
+    parse_fault_spec,
+    set_default_fault_spec,
+)
+
+__all__ = [
+    "FAULT_SPIKE",
+    "FAULT_STALE",
+    "FAULT_TIMEOUT",
+    "FAULT_TRANSIENT",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_injection",
+    "get_default_fault_spec",
+    "parse_fault_spec",
+    "set_default_fault_spec",
+]

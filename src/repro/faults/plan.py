@@ -1,0 +1,281 @@
+"""Seed-deterministic fault plans for the simulated storage stack.
+
+A :class:`FaultSpec` is a declarative description of *what* can go wrong:
+transient media errors (fail-N-times-then-succeed), completion timeouts,
+service-latency spikes, and extent-cache staleness, each at a configurable
+rate and confined to an optional simulated-time window.  A
+:class:`FaultPlan` binds a spec to one kernel instance and makes the
+per-command decisions.
+
+Two properties drive the design:
+
+* **Determinism.**  The plan draws from its *own* named RNG streams
+  (derived from ``spec.seed`` and the kernel seed), never from the device
+  jitter stream, so arming a plan does not perturb any other stochastic
+  choice, and the same seed + same spec yields a byte-identical trace —
+  including every retry and backoff.
+* **Guaranteed recoverability of transients.**  A drawn media error opens
+  an *episode*: the target LBA fails ``error_burst`` consecutive times and
+  is then placed in a one-shot cooldown that guarantees the next service
+  succeeds.  Even at ``read_error_rate=1.0`` a bounded retry loop
+  therefore always makes progress.
+
+The plan is consumed by :class:`~repro.device.nvme.NvmeDevice` (media
+errors, timeouts, spikes) and by the chain engine (staleness); the NVMe
+driver's retry policy in :mod:`repro.kernel.kernel` is armed automatically
+whenever a kernel is built with a plan.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+from repro.errors import InvalidArgument
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "FAULT_SPIKE",
+    "FAULT_STALE",
+    "FAULT_TIMEOUT",
+    "FAULT_TRANSIENT",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_injection",
+    "get_default_fault_spec",
+    "parse_fault_spec",
+    "set_default_fault_spec",
+]
+
+#: Fault kinds, as reported in ``fault_inject`` events and plan counters.
+FAULT_TRANSIENT = "transient"
+FAULT_TIMEOUT = "timeout"
+FAULT_SPIKE = "spike"
+FAULT_STALE = "stale"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault-injection knobs (all rates are per command)."""
+
+    #: Extra seed mixed into the plan's RNG streams, so two plans with the
+    #: same rates can still draw independent fault sequences.
+    seed: int = 0
+    #: Probability that a read draws a transient media-error episode.
+    read_error_rate: float = 0.0
+    #: Probability that a write draws a transient media-error episode.
+    write_error_rate: float = 0.0
+    #: Consecutive failures per transient episode before the LBA recovers.
+    error_burst: int = 1
+    #: Probability that a command is swallowed until the controller
+    #: watchdog fires (completes with a timeout status, no data).
+    timeout_rate: float = 0.0
+    #: Probability that a command's service latency is multiplied by
+    #: ``spike_factor`` (capped at the command timeout when one is armed).
+    spike_rate: float = 0.0
+    spike_factor: float = 8.0
+    #: Simulated ns between forced extent-cache invalidations (0 = off).
+    stale_interval_ns: int = 0
+    #: Injection window in simulated ns; ``window_end_ns == 0`` is open.
+    window_start_ns: int = 0
+    window_end_ns: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("read_error_rate", "write_error_rate", "timeout_rate",
+                     "spike_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise InvalidArgument(f"{name} must be in [0, 1], got {rate}")
+        total = (self.read_error_rate + self.timeout_rate + self.spike_rate)
+        total_w = (self.write_error_rate + self.timeout_rate +
+                   self.spike_rate)
+        if total > 1.0 or total_w > 1.0:
+            raise InvalidArgument("fault rates must sum to <= 1 per opcode")
+        if self.error_burst < 1:
+            raise InvalidArgument("error_burst must be >= 1")
+        if self.spike_factor < 1.0:
+            raise InvalidArgument("spike_factor must be >= 1")
+        if self.stale_interval_ns < 0 or self.window_start_ns < 0 or \
+                self.window_end_ns < 0:
+            raise InvalidArgument("intervals/windows must be >= 0")
+
+    def active(self, now: int) -> bool:
+        """Is the injection window open at simulated time ``now``?"""
+        if now < self.window_start_ns:
+            return False
+        return self.window_end_ns == 0 or now < self.window_end_ns
+
+    def any_faults(self) -> bool:
+        return (self.read_error_rate > 0 or self.write_error_rate > 0 or
+                self.timeout_rate > 0 or self.spike_rate > 0 or
+                self.stale_interval_ns > 0)
+
+
+_INT_FIELDS = {"seed", "error_burst", "stale_interval_ns",
+               "window_start_ns", "window_end_ns"}
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse the CLI ``--fault-plan`` syntax: ``key=value[,key=value...]``.
+
+    Keys are :class:`FaultSpec` field names, e.g.
+    ``read_error_rate=0.01,error_burst=2,timeout_rate=0.001``.
+    """
+    known = {f.name for f in fields(FaultSpec)}
+    kwargs: Dict[str, object] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise InvalidArgument(
+                f"bad fault-plan entry {part!r} (want key=value)")
+        key, _, value = part.partition("=")
+        key = key.strip()
+        if key not in known:
+            raise InvalidArgument(
+                f"unknown fault-plan key {key!r} "
+                f"(known: {', '.join(sorted(known))})")
+        try:
+            kwargs[key] = (int(value) if key in _INT_FIELDS
+                           else float(value))
+        except ValueError:
+            raise InvalidArgument(
+                f"bad fault-plan value for {key!r}: {value!r}")
+    return FaultSpec(**kwargs)
+
+
+class FaultPlan:
+    """One kernel's bound fault plan: spec + RNG streams + episode state."""
+
+    def __init__(self, spec: FaultSpec, kernel_seed: int = 0):
+        self.spec = spec
+        streams = RandomStreams(spec.seed).fork(f"faults/{kernel_seed}")
+        self._media_rng = streams.stream("media")
+        #: (opcode, lba) -> (kind, remaining failures) for open episodes.
+        self._episodes: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        #: Targets whose next service is guaranteed to succeed.
+        self._cooldown: set = set()
+        #: Injected-fault counters by kind, for metrics reconciliation.
+        self.injected: Dict[str, int] = {FAULT_TRANSIENT: 0, FAULT_TIMEOUT: 0,
+                                         FAULT_SPIKE: 0, FAULT_STALE: 0}
+        self._next_stale = spec.window_start_ns + spec.stale_interval_ns
+
+    # -- media-path faults (consumed by NvmeDevice) ---------------------
+
+    def inject(self, lba: int, kind: str = FAULT_TRANSIENT, times: int = 1,
+               opcode: str = "read") -> None:
+        """Deterministically fail the next ``times`` services of ``lba``.
+
+        Programmatic counterpart of the random draw, for tests: opens an
+        episode directly, bypassing the rates (and the window).
+        """
+        if kind not in (FAULT_TRANSIENT, FAULT_TIMEOUT):
+            raise InvalidArgument(f"cannot pre-inject fault kind {kind!r}")
+        if times < 1:
+            raise InvalidArgument("times must be >= 1")
+        self._episodes[(opcode, lba)] = (kind, times)
+
+    def media_decision(self, command, now: int) -> Optional[str]:
+        """Decide this command's fate; returns a fault kind or ``None``.
+
+        Called once by the device as the command enters a service slot.
+        Open episodes are consumed first (no RNG draw); otherwise a single
+        uniform draw is partitioned across the configured fault classes so
+        decisions stay deterministic regardless of which are enabled.
+        """
+        key = (command.opcode, command.lba)
+        episode = self._episodes.get(key)
+        if episode is not None:
+            kind, remaining = episode
+            if remaining <= 1:
+                del self._episodes[key]
+                self._cooldown.add(key)
+            else:
+                self._episodes[key] = (kind, remaining - 1)
+            self.injected[kind] += 1
+            return kind
+        if key in self._cooldown:
+            self._cooldown.discard(key)
+            return None
+        spec = self.spec
+        if not spec.active(now):
+            return None
+        error_rate = (spec.read_error_rate if command.opcode == "read"
+                      else spec.write_error_rate)
+        if error_rate == 0 and spec.timeout_rate == 0 and \
+                spec.spike_rate == 0:
+            return None
+        draw = self._media_rng.random()
+        if draw < error_rate:
+            if spec.error_burst > 1:
+                self._episodes[key] = (FAULT_TRANSIENT, spec.error_burst - 1)
+            else:
+                self._cooldown.add(key)
+            self.injected[FAULT_TRANSIENT] += 1
+            return FAULT_TRANSIENT
+        draw -= error_rate
+        if draw < spec.timeout_rate:
+            self.injected[FAULT_TIMEOUT] += 1
+            return FAULT_TIMEOUT
+        draw -= spec.timeout_rate
+        if draw < spec.spike_rate:
+            self.injected[FAULT_SPIKE] += 1
+            return FAULT_SPIKE
+        return None
+
+    # -- extent-cache staleness (consumed by the chain engine) ----------
+
+    def stale_due(self, now: int) -> bool:
+        """Has a staleness deadline elapsed since the last check?
+
+        Event-driven rather than timer-driven: deadlines advance in fixed
+        ``stale_interval_ns`` steps from the window start, and the *next
+        observer* (a chain hop consulting its snapshot) takes the hit.
+        This keeps the simulator's event heap free of perpetual timers.
+        """
+        spec = self.spec
+        if spec.stale_interval_ns == 0 or not spec.active(now):
+            return False
+        if now < self._next_stale:
+            return False
+        while self._next_stale <= now:
+            self._next_stale += spec.stale_interval_ns
+        self.injected[FAULT_STALE] += 1
+        return True
+
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+
+# ---------------------------------------------------------------------------
+# Process-default plumbing (mirrors repro.obs.bus.get/set_default_bus), so
+# ``--fault-plan`` on the CLI reaches kernels built deep inside experiment
+# runners without threading a parameter through every constructor.
+# ---------------------------------------------------------------------------
+
+_default_spec: Optional[FaultSpec] = None
+
+
+def get_default_fault_spec() -> Optional[FaultSpec]:
+    """The process-wide default fault spec (None unless installed)."""
+    return _default_spec
+
+
+def set_default_fault_spec(spec: Optional[FaultSpec]) -> Optional[FaultSpec]:
+    """Install ``spec`` as the default; returns the previous default."""
+    global _default_spec
+    previous = _default_spec
+    _default_spec = spec
+    return previous
+
+
+@contextlib.contextmanager
+def fault_injection(spec: FaultSpec):
+    """Context manager: every kernel built inside picks up ``spec``."""
+    previous = set_default_fault_spec(spec)
+    try:
+        yield spec
+    finally:
+        set_default_fault_spec(previous)

@@ -13,7 +13,7 @@ in the paper prescribes.
 from repro.kernel.extent import Extent, ExtentTree
 from repro.kernel.extfs import ExtFs
 from repro.kernel.iouring import IoUring
-from repro.kernel.kernel import Kernel, KernelConfig, ReadResult
+from repro.kernel.kernel import Kernel, KernelConfig, NvmeRetryPolicy, ReadResult
 from repro.kernel.layers import CostModel
 from repro.kernel.process import File, Process
 
@@ -26,6 +26,7 @@ __all__ = [
     "IoUring",
     "Kernel",
     "KernelConfig",
+    "NvmeRetryPolicy",
     "Process",
     "ReadResult",
 ]

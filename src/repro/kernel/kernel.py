@@ -24,8 +24,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.device import BlockDevice, IoTrace, LatencyModel, NvmeCommand, NvmeDevice
+from repro.device import (
+    BlockDevice,
+    IoTrace,
+    LatencyModel,
+    NvmeCommand,
+    NvmeDevice,
+    STATUS_TIMEOUT,
+)
 from repro.errors import InvalidArgument, IoError
+from repro.faults import FaultPlan, FaultSpec, get_default_fault_spec
 from repro.kernel.extfs import ExtFs
 from repro.kernel.layers import CostModel
 from repro.kernel.process import File, Process
@@ -33,7 +41,45 @@ from repro.obs import events as obs_events
 from repro.obs.bus import TraceBus, get_default_bus
 from repro.sim import CpuSet, RandomStreams, Simulator
 
-__all__ = ["IoCookie", "Kernel", "KernelConfig", "ReadResult"]
+__all__ = ["IoCookie", "Kernel", "KernelConfig", "NvmeRetryPolicy",
+           "ReadResult"]
+
+
+@dataclass(frozen=True)
+class NvmeRetryPolicy:
+    """The NVMe driver's error-recovery policy.
+
+    Armed automatically when a kernel is built with a fault plan (and
+    configurable independently).  The driver resubmits a failed command up
+    to ``max_retries`` times, sleeping an exponentially growing backoff
+    (charged as *simulated* time) between attempts; the per-command
+    timeout is programmed into the device's controller watchdog so a
+    swallowed command still completes — with ``STATUS_TIMEOUT`` — instead
+    of hanging the stack.
+    """
+
+    max_retries: int = 4
+    #: Controller watchdog; None derives ~20x the device read latency.
+    timeout_ns: Optional[int] = None
+    backoff_base_ns: int = 2_000
+    backoff_multiplier: float = 2.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise InvalidArgument("max_retries must be >= 0")
+        if self.backoff_base_ns < 0 or self.backoff_multiplier < 1.0:
+            raise InvalidArgument("bad backoff parameters")
+
+    def backoff_ns(self, attempt: int) -> int:
+        """Backoff before retry ``attempt`` (1-based), exponential."""
+        return int(self.backoff_base_ns *
+                   self.backoff_multiplier ** (attempt - 1))
+
+    def resolve_timeout_ns(self, model: LatencyModel) -> int:
+        if self.timeout_ns is not None:
+            return self.timeout_ns
+        return 20 * max(model.read_ns, model.write_ns)
 
 
 @dataclass
@@ -53,6 +99,13 @@ class KernelConfig:
     #: Tracepoint bus; None picks up the process default (NULL_BUS unless
     #: an ObsSession is active), keeping tracing off-by-default-cheap.
     bus: Optional[TraceBus] = None
+    #: Fault plan spec; None picks up the process default installed by
+    #: ``repro.faults.fault_injection`` (no plan unless one is active).
+    fault_plan: Optional[FaultSpec] = None
+    #: NVMe driver retry policy; None arms the default policy exactly
+    #: when a fault plan is present, leaving the fault-free fast path
+    #: byte-identical to a build without this subsystem.
+    retry: Optional[NvmeRetryPolicy] = None
 
 
 class ReadResult:
@@ -62,6 +115,9 @@ class ReadResult:
     EXTENT_INVALIDATED = "eextent"
     CHAIN_LIMIT = "echainlim"
     SPLIT_FALLBACK = "split-fallback"
+    #: A faulted hop exhausted the in-kernel retry budget; the chain was
+    #: handed back (with its scratch) to finish in user space.
+    FAULT_FALLBACK = "fault-fallback"
     EIO = "eio"
 
     __slots__ = ("data", "status", "hops", "final_offset", "value", "value2",
@@ -129,6 +185,23 @@ class Kernel:
                                  self.streams.stream("nvme"), trace=self.trace,
                                  bus=self.bus)
         self.device.completion_handler = self._on_device_completion
+        # --- fault plan + driver retry policy ----------------------------
+        spec = (self.config.fault_plan if self.config.fault_plan is not None
+                else get_default_fault_spec())
+        self.fault_plan: Optional[FaultPlan] = (
+            FaultPlan(spec, kernel_seed=self.config.seed)
+            if spec is not None else None)
+        if self.config.retry is not None:
+            self.retry_policy: Optional[NvmeRetryPolicy] = self.config.retry
+        elif self.fault_plan is not None:
+            self.retry_policy = NvmeRetryPolicy()
+        else:
+            self.retry_policy = None
+        if self.fault_plan is not None:
+            self.device.fault_plan = self.fault_plan
+        if self.retry_policy is not None and self.retry_policy.enabled:
+            self.device.command_timeout_ns = \
+                self.retry_policy.resolve_timeout_ns(device_model)
         scatter = (self.streams.stream("alloc")
                    if self.config.scatter_allocations else None)
         self.fs = ExtFs(self.media,
@@ -160,6 +233,8 @@ class Kernel:
         # Statistics.
         self.syscall_count = 0
         self.irq_count = 0
+        self.nvme_retries = 0
+        self.nvme_timeouts = 0
 
     # ------------------------------------------------------------------
     # Process management
@@ -318,25 +393,33 @@ class Kernel:
             self.bus.emit(obs_events.BIO_SUBMIT, self.sim.now,
                           cpu_ns=cost.bio_ns, segments=len(segments),
                           span=span, path="write")
-        events = []
-        consumed = 0
-        for lba, sectors in segments:
-            yield from self.cpus.run_thread(cost.nvme_driver_ns)
-            chunk = data[consumed : consumed + sectors * 512]
-            consumed += sectors * 512
-            event = self.sim.event()
-            command = NvmeCommand("write", lba, sectors, data=chunk,
-                                  cookie=IoCookie("irq", event=event))
-            if span:
-                command.span = span
-                command.path = "write"
-                command.driver_ns = cost.nvme_driver_ns
-            self.device.submit(command)
-            events.append(event)
-        for event in events:
-            completed = yield event
-            if completed.status != 0:
-                raise IoError(f"media error at lba {completed.lba}")
+        if self.retry_enabled:
+            consumed = 0
+            for lba, sectors in segments:
+                chunk = data[consumed : consumed + sectors * 512]
+                consumed += sectors * 512
+                yield from self._nvme_rw_retry("write", lba, sectors,
+                                               chunk, span, "write")
+        else:
+            events = []
+            consumed = 0
+            for lba, sectors in segments:
+                yield from self.cpus.run_thread(cost.nvme_driver_ns)
+                chunk = data[consumed : consumed + sectors * 512]
+                consumed += sectors * 512
+                event = self.sim.event()
+                command = NvmeCommand("write", lba, sectors, data=chunk,
+                                      cookie=IoCookie("irq", event=event))
+                if span:
+                    command.span = span
+                    command.path = "write"
+                    command.driver_ns = cost.nvme_driver_ns
+                self.device.submit(command)
+                events.append(event)
+            for event in events:
+                completed = yield event
+                if completed.status != 0:
+                    raise IoError(f"media error at lba {completed.lba}")
         yield from self.cpus.run_thread(cost.context_switch_ns)
         if self.bus.enabled:
             self.bus.emit(obs_events.CONTEXT_SWITCH, self.sim.now,
@@ -353,6 +436,68 @@ class Kernel:
     def should_poll(self) -> bool:
         """Hybrid polling: spin for completions on microsecond devices."""
         return self.model.read_ns < self.cost.poll_threshold_ns
+
+    @property
+    def retry_enabled(self) -> bool:
+        return self.retry_policy is not None and self.retry_policy.enabled
+
+    def _nvme_rw_retry(self, opcode: str, lba: int, sectors: int,
+                       data: Optional[bytes], span: int, path: str,
+                       held: bool = False):
+        """Submit one command with the driver retry policy; returns the
+        successful completion or raises :class:`IoError`.
+
+        ``held=True`` means the caller is polling and already holds a core
+        (driver cost is charged as held time); otherwise driver cost runs
+        as thread work and the completion arrives via IRQ wake.  Backoff
+        is simulated sleep, not CPU work.  Each attempt uses a fresh
+        descriptor — recycling is the chain engine's job.
+        """
+        policy = self.retry_policy
+        cost = self.cost
+        attempt = 0
+        while True:
+            attempt += 1
+            if held:
+                yield self.sim.timeout(cost.nvme_driver_ns)
+            else:
+                yield from self.cpus.run_thread(cost.nvme_driver_ns)
+            event = self.sim.event()
+            command = NvmeCommand(
+                opcode, lba, sectors, data=data,
+                cookie=IoCookie("poll" if held else "irq", event=event))
+            if attempt > 1:
+                command.source = "retry"
+            if self.bus.enabled:
+                command.span = span
+                command.path = path
+                command.driver_ns = cost.nvme_driver_ns
+            self.device.submit(command)
+            completed = yield event
+            if completed.status == 0:
+                return completed
+            reason = ("timeout" if completed.status == STATUS_TIMEOUT
+                      else "media")
+            if completed.status == STATUS_TIMEOUT:
+                self.nvme_timeouts += 1
+                if self.bus.enabled:
+                    self.bus.emit(obs_events.NVME_TIMEOUT, self.sim.now,
+                                  opcode=opcode, lba=lba,
+                                  timeout_ns=self.device.command_timeout_ns,
+                                  attempt=attempt, span=span, path=path)
+            if attempt > policy.max_retries:
+                raise IoError(
+                    f"nvme {opcode} at lba {lba} failed after "
+                    f"{attempt} attempts ({reason})")
+            self.nvme_retries += 1
+            backoff = policy.backoff_ns(attempt)
+            if self.bus.enabled:
+                self.bus.emit(obs_events.NVME_RETRY, self.sim.now,
+                              opcode=opcode, lba=lba, reason=reason,
+                              attempt=attempt, backoff_ns=backoff,
+                              span=span, path=path)
+            if backoff:
+                yield self.sim.timeout(backoff)
 
     def _normal_read_path(self, file: File, offset: int, length: int,
                           span: int = 0, path: str = "normal"):
@@ -376,49 +521,67 @@ class Kernel:
             request = self.cpus.request(CpuSet.PRIORITY_THREAD)
             yield request
             try:
-                events = []
-                for lba, sectors in segments:
-                    yield self.sim.timeout(cost.nvme_driver_ns)
-                    event = self.sim.event()
-                    command = NvmeCommand(
-                        "read", lba, sectors,
-                        cookie=IoCookie("poll", event=event))
-                    if self.bus.enabled:
-                        command.span = span
-                        command.path = path
-                        command.driver_ns = cost.nvme_driver_ns
-                    self.device.submit(command)
-                    events.append(event)
-                chunks = []
-                for event in events:
-                    completed = yield event
-                    if completed.status != 0:
-                        raise IoError(
-                            f"media error at lba {completed.lba}")
-                    chunks.append(completed.data)
+                if self.retry_enabled:
+                    # Error-recovering path: one command at a time so a
+                    # failure can be retried with backoff before the next
+                    # segment is issued.
+                    chunks = []
+                    for lba, sectors in segments:
+                        completed = yield from self._nvme_rw_retry(
+                            "read", lba, sectors, None, span, path,
+                            held=True)
+                        chunks.append(completed.data)
+                else:
+                    events = []
+                    for lba, sectors in segments:
+                        yield self.sim.timeout(cost.nvme_driver_ns)
+                        event = self.sim.event()
+                        command = NvmeCommand(
+                            "read", lba, sectors,
+                            cookie=IoCookie("poll", event=event))
+                        if self.bus.enabled:
+                            command.span = span
+                            command.path = path
+                            command.driver_ns = cost.nvme_driver_ns
+                        self.device.submit(command)
+                        events.append(event)
+                    chunks = []
+                    for event in events:
+                        completed = yield event
+                        if completed.status != 0:
+                            raise IoError(
+                                f"media error at lba {completed.lba}")
+                        chunks.append(completed.data)
             finally:
                 self.cpus.release(request)
             return b"".join(chunks)
 
         # Interrupt-driven: submit, sleep, get woken by the IRQ handler.
-        events = []
-        for lba, sectors in segments:
-            yield from self.cpus.run_thread(cost.nvme_driver_ns)
-            event = self.sim.event()
-            command = NvmeCommand("read", lba, sectors,
-                                  cookie=IoCookie("irq", event=event))
-            if self.bus.enabled:
-                command.span = span
-                command.path = path
-                command.driver_ns = cost.nvme_driver_ns
-            self.device.submit(command)
-            events.append(event)
-        chunks = []
-        for event in events:
-            completed = yield event
-            if completed.status != 0:
-                raise IoError(f"media error at lba {completed.lba}")
-            chunks.append(completed.data)
+        if self.retry_enabled:
+            chunks = []
+            for lba, sectors in segments:
+                completed = yield from self._nvme_rw_retry(
+                    "read", lba, sectors, None, span, path)
+                chunks.append(completed.data)
+        else:
+            events = []
+            for lba, sectors in segments:
+                yield from self.cpus.run_thread(cost.nvme_driver_ns)
+                event = self.sim.event()
+                command = NvmeCommand("read", lba, sectors,
+                                      cookie=IoCookie("irq", event=event))
+                if self.bus.enabled:
+                    command.span = span
+                    command.path = path
+                    command.driver_ns = cost.nvme_driver_ns
+                self.device.submit(command)
+                events.append(event)
+            chunks = []
+            for event in events:
+                completed = yield event
+                if completed.status != 0:
+                    raise IoError(f"media error at lba {completed.lba}")
+                chunks.append(completed.data)
         yield from self.cpus.run_thread(cost.context_switch_ns)
         if self.bus.enabled:
             self.bus.emit(obs_events.CONTEXT_SWITCH, self.sim.now,

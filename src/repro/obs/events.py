@@ -54,6 +54,19 @@ event type                emitted by / meaning
 ``resubmit_drain``        per-pid chained-resubmission counters drained to
                           the BIO layer; ``pids`` (pid -> count),
                           ``total``.
+``fault_inject``          the fault plan fired on a command or snapshot;
+                          ``kind`` ("transient"/"timeout"/"spike"/
+                          "stale"), plus ``opcode``/``lba``/``sectors``
+                          for media faults or ``ino`` for staleness.
+``nvme_timeout``          the controller watchdog expired a command;
+                          ``opcode``, ``lba``, ``timeout_ns``.
+``nvme_retry``            the driver (or chain engine) resubmitted a
+                          failed command; ``reason`` ("media"/
+                          "timeout"), ``attempt``, ``backoff_ns``,
+                          ``lba``.
+``chain_fallback``        a faulted chain hop exhausted its retries and
+                          the chain was handed back to user space;
+                          ``pid``, ``hops``, ``offset``, ``reason``.
 ``span_start``            a span opened; ``span``, ``parent``, ``name``.
 ``span_end``              a span closed; ``span`` plus result attributes.
 ========================  =====================================================
@@ -70,6 +83,7 @@ __all__ = [
     "BPF_HELPER_TRACE",
     "BPF_HOOK_DISPATCH",
     "CHAIN_COMPLETE",
+    "CHAIN_FALLBACK",
     "CHAIN_HOP",
     "CHAIN_KILL",
     "CONTEXT_SWITCH",
@@ -79,10 +93,13 @@ __all__ = [
     "EXTENT_CACHE_MISS",
     "EXTENT_CACHE_SPLIT",
     "EXTENT_CHANGE",
+    "FAULT_INJECT",
     "FS_RESOLVE",
     "IRQ_ENTRY",
     "NVME_COMPLETE",
+    "NVME_RETRY",
     "NVME_SUBMIT",
+    "NVME_TIMEOUT",
     "RESUBMIT_DRAIN",
     "SPAN_END",
     "SPAN_START",
@@ -111,6 +128,10 @@ EXTENT_CACHE_SPLIT = "extent_cache_split"
 EXTENT_CACHE_INVALIDATE = "extent_cache_invalidate"
 EXTENT_CHANGE = "extent_change"
 RESUBMIT_DRAIN = "resubmit_drain"
+FAULT_INJECT = "fault_inject"
+NVME_TIMEOUT = "nvme_timeout"
+NVME_RETRY = "nvme_retry"
+CHAIN_FALLBACK = "chain_fallback"
 SPAN_START = "span_start"
 SPAN_END = "span_end"
 

@@ -190,7 +190,10 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
     ``extent_cache_lookups_total`` (by outcome),
     ``extent_cache_invalidations_total``, ``resubmissions_total``
     (by pid, the fairness drain), ``nvme_commands_total`` (by source),
-    and ``nvme_queue_depth`` gauge (last observed).
+    ``nvme_queue_depth`` gauge (last observed), and the fault-path
+    counters: ``faults_injected_total`` (by kind),
+    ``nvme_timeouts_total``, ``nvme_retries_total`` (by reason), and
+    ``chain_fallbacks_total`` (by reason).
     """
     syscalls = registry.counter("syscalls_total", "Syscall entries by op")
     hops = registry.counter("chain_hops_total", "Completed chain hops")
@@ -227,3 +230,19 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
         qdepth.set(event.get("queue_depth", 0))
 
     bus.subscribe(_on_nvme_submit, ev.NVME_SUBMIT)
+
+    faults = registry.counter("faults_injected_total",
+                              "Fault-plan injections by kind")
+    timeouts = registry.counter("nvme_timeouts_total",
+                                "Commands expired by the controller watchdog")
+    retries = registry.counter("nvme_retries_total",
+                               "Driver/chain command resubmissions by reason")
+    fallbacks = registry.counter("chain_fallbacks_total",
+                                 "Chains degraded to user space by reason")
+    bus.subscribe(lambda e: faults.inc(kind=e.get("kind", "?")),
+                  ev.FAULT_INJECT)
+    bus.subscribe(lambda e: timeouts.inc(), ev.NVME_TIMEOUT)
+    bus.subscribe(lambda e: retries.inc(reason=e.get("reason", "?")),
+                  ev.NVME_RETRY)
+    bus.subscribe(lambda e: fallbacks.inc(reason=e.get("reason", "?")),
+                  ev.CHAIN_FALLBACK)

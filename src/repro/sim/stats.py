@@ -71,8 +71,17 @@ class LatencyRecorder:
         return self.total / self.count
 
     def percentile(self, fraction: float) -> float:
+        """Percentile of the retained samples.
+
+        An empty recorder reports ``0.0``, consistent with ``summary()``
+        (the module-level :func:`percentile` still rejects empty input —
+        callers there passed an explicit sample set).
+        """
         if not self._samples:
-            raise ValueError(f"no samples recorded in {self.name!r}")
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError(
+                    f"fraction must be within [0, 1], got {fraction}")
+            return 0.0
         return percentile(self._samples, fraction)
 
     @property

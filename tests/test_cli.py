@@ -20,7 +20,7 @@ def test_experiment_quick_runs(capsys):
 def test_experiment_names_all_registered():
     expected = {"fig1", "table1", "fig3a", "fig3b", "fig3c", "fig3d",
                 "stability", "bound", "churn", "vmmode", "appcache",
-                "interference"}
+                "interference", "resilience"}
     assert set(_EXPERIMENTS) == expected
 
 
@@ -58,3 +58,29 @@ def test_quick_experiments_all_run(capsys):
     for name in ("fig1", "fig3c", "bound", "vmmode", "appcache"):
         assert main(["experiment", name, "--quick"]) == 0
         assert capsys.readouterr().out
+
+
+def test_experiment_with_fault_plan(capsys):
+    from repro.faults import get_default_fault_spec
+
+    assert main(["experiment", "fig3c", "--quick", "--fault-plan",
+                 "seed=7,read_error_rate=0.02,error_burst=2"]) == 0
+    assert capsys.readouterr().out
+    # The plan is scoped to the run, not left installed process-wide.
+    assert get_default_fault_spec() is None
+
+
+def test_experiment_rejects_bad_fault_plan():
+    from repro.errors import InvalidArgument
+
+    with pytest.raises(InvalidArgument, match="unknown fault-plan key"):
+        main(["experiment", "fig3c", "--quick", "--fault-plan",
+              "bogus=1"])
+
+
+def test_metrics_with_fault_plan_reports_fault_counters(capsys):
+    assert main(["metrics", "fig3c", "--quick", "--fault-plan",
+                 "seed=7,read_error_rate=0.05,error_burst=2"]) == 0
+    out = capsys.readouterr().out
+    assert "faults_injected_total" in out
+    assert "nvme_retries_total" in out

@@ -122,6 +122,52 @@ def test_cache_reinstall_revalidates():
     assert cache.entry(inode) is second
 
 
+def test_cache_lookup_block_many_extents_matches_linear_reference():
+    """Regression for the bisect lookup on a heavily fragmented snapshot."""
+    from repro.core.extent_cache import CacheEntry
+
+    # 500 one-block extents with a gap after each: file blocks 0, 2, 4, ...
+    # handed over deliberately unsorted.
+    extents = [(2 * i, 1000 + 3 * i, 1) for i in range(500)]
+    extents.reverse()
+    entry = CacheEntry(1, extents, epoch=1)
+
+    def linear(file_block):
+        for start, phys, count in extents:
+            if start <= file_block < start + count:
+                return phys + (file_block - start)
+        return None
+
+    for file_block in range(-2, 1002):
+        assert entry.lookup_block(file_block) == linear(file_block), \
+            file_block
+
+
+def test_cache_lookup_block_multi_block_extents():
+    from repro.core.extent_cache import CacheEntry
+
+    entry = CacheEntry(1, [(0, 100, 4), (8, 200, 2)], epoch=1)
+    assert entry.lookup_block(0) == 100
+    assert entry.lookup_block(3) == 103
+    assert entry.lookup_block(4) is None   # gap
+    assert entry.lookup_block(8) == 200
+    assert entry.lookup_block(9) == 201
+    assert entry.lookup_block(10) is None  # past the last extent
+    assert CacheEntry(1, [], epoch=1).lookup_block(0) is None
+
+
+def test_cache_force_invalidate_idempotent():
+    fs = make_fs()
+    inode = fs.create("/f")
+    fs.write_sync(inode, 0, b"x" * BLOCK_SIZE)
+    cache = NvmeExtentCache(fs)
+    entry = cache.install(inode)
+    cache.force_invalidate(entry, reason="fault")
+    cache.force_invalidate(entry, reason="fault")
+    assert not entry.valid
+    assert cache.invalidations == 1
+
+
 # ---------------------------------------------------------------------------
 # ChainAccounting
 # ---------------------------------------------------------------------------

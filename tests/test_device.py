@@ -227,6 +227,56 @@ def test_nvme_retarget_clears_state():
     assert (cmd.lba, cmd.sectors, cmd.data) == (9, 2, None)
 
 
+def test_nvme_retarget_clears_service_stamps():
+    """A recycled descriptor must not carry the previous hop's timings."""
+    sim, device, _ = make_device(parallelism=1)
+    device.completion_handler = lambda c: None
+    cmd = NvmeCommand("read", 1, 1)
+    cmd.driver_ns = 123
+    device.submit(cmd)
+    sim.run()
+    assert cmd.complete_ns != -1 and cmd.submit_ns != -1
+    cmd.span = 42
+    cmd.path = "chain"
+    cmd.retarget(2, 1)
+    assert (cmd.submit_ns, cmd.complete_ns, cmd.driver_ns) == (-1, -1, 0)
+    assert cmd.status == 0
+    # span/path are caller-owned context and survive the recycle.
+    assert (cmd.span, cmd.path) == (42, "chain")
+
+
+def test_nvme_stale_descriptor_resubmit_rejected():
+    """Resubmitting a completed descriptor without retarget is a bug."""
+    sim, device, _ = make_device(parallelism=1)
+    device.completion_handler = lambda c: None
+    cmd = NvmeCommand("read", 1, 1)
+    device.submit(cmd)
+    sim.run()
+    with pytest.raises(IoError, match="stale NVMe descriptor"):
+        device.submit(cmd)
+    cmd.retarget(1, 1)
+    device.submit(cmd)
+    sim.run()
+    assert device.completed == 2
+
+
+def test_nvme_error_completion_has_no_payload():
+    """The error-payload contract: status != 0 <=> data is None, and a
+    successful read's payload is exactly sectors * 512 bytes."""
+    sim, device, _ = make_device(parallelism=1)
+    seen = []
+    device.completion_handler = seen.append
+    device.inject_media_error(5)
+    device.submit(NvmeCommand("read", 5, 2))
+    device.submit(NvmeCommand("read", 8, 2))
+    sim.run()
+    failed, ok = seen
+    assert failed.status != 0
+    assert failed.data is None
+    assert ok.status == 0
+    assert len(ok.data) == ok.sectors * 512
+
+
 def test_nvme_queue_depth_tracking():
     sim, device, _ = make_device(parallelism=1)
     device.completion_handler = lambda cmd: None

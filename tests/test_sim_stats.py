@@ -68,6 +68,32 @@ def test_latency_recorder_empty_summary_is_well_formed():
                        "p50": 0.0, "p99": 0.0}
 
 
+def test_latency_recorder_empty_percentiles_match_summary():
+    """Empty-recorder percentiles agree with summary() instead of raising."""
+    rec = LatencyRecorder()
+    assert rec.percentile(0.5) == 0.0
+    assert rec.p50 == 0.0
+    assert rec.p99 == 0.0
+    assert rec.p50 == rec.summary()["p50"]
+    assert rec.p99 == rec.summary()["p99"]
+
+
+def test_latency_recorder_empty_percentile_still_validates_fraction():
+    rec = LatencyRecorder()
+    with pytest.raises(ValueError):
+        rec.percentile(1.5)
+    with pytest.raises(ValueError):
+        rec.percentile(-0.1)
+
+
+def test_latency_recorder_nonempty_percentile_unchanged():
+    rec = LatencyRecorder()
+    for value in [10, 20, 30, 40, 50]:
+        rec.record(value)
+    assert rec.percentile(0.5) == 30
+    assert rec.p50 == 30
+
+
 def test_latency_recorder_thinning_preserves_extremes_and_count():
     rec = LatencyRecorder(max_samples=64)
     for value in range(1000):
