@@ -1,0 +1,151 @@
+"""Crash recovery: fsync cost and mount-time replay vs checkpoint cadence.
+
+A metadata-heavy workload (create, sector-aligned writes, fsync every
+few files) runs against the journaled file system at several
+``checkpoint_every_txns`` settings, then the machine loses power and
+remounts.  The trade the sweep exposes is the classic journaling one:
+frequent checkpoints keep the log short (cheap recovery, few replayed
+transactions) but pay checkpoint writes during normal operation;
+``0`` (checkpoint only when the log would overflow) makes fsync cheap
+and steady but leaves a long tail to replay at mount.  Whatever the
+cadence, recovery must replay to exactly the last fsync: fsck clean,
+every fsynced file intact.
+
+Runnable directly for the CI smoke test::
+
+    PYTHONPATH=src python benchmarks/bench_crash_recovery.py --quick
+"""
+
+import argparse
+import sys
+
+from repro.bench import format_table
+from repro.device import NVM_GEN2
+from repro.kernel import JournalConfig, Kernel, KernelConfig, fsck
+from repro.sim import Simulator
+
+COLUMNS = ["checkpoint_every", "files", "fsyncs", "fsync_avg_us",
+           "journal_kib", "checkpoints", "replayed_txns", "fsck",
+           "recovered_files"]
+
+FULL = {"files": 120, "fsync_every": 3, "write_kib": 8}
+QUICK = {"files": 24, "fsync_every": 3, "write_kib": 4}
+
+CADENCES = (0, 4, 16, 64)
+
+
+def _run_workload(kernel, files, fsync_every, write_kib, seed=11):
+    """Create ``files`` files, fsyncing every ``fsync_every``-th one."""
+    import random
+
+    rng = random.Random(seed)
+    sim = kernel.sim
+    proc = kernel.spawn_process("recovery-bench")
+    fsync_ns = []
+    synced = []
+    pending = []
+    for index in range(files):
+        path = f"/f{index:04d}"
+        fd = kernel.run_syscall(kernel.sys_open(proc, path, create=True))
+        data = rng.randbytes(write_kib * 1024)
+        kernel.run_syscall(kernel.sys_pwrite(proc, fd, 0, data))
+        pending.append((path, data))
+        if (index + 1) % fsync_every == 0:
+            start = sim.now
+            kernel.run_syscall(kernel.sys_fsync(proc, fd))
+            fsync_ns.append(sim.now - start)
+            synced.extend(pending)
+            pending.clear()
+    return fsync_ns, synced
+
+
+def crash_recovery_sweep(files=120, fsync_every=3, write_kib=8,
+                         cadences=CADENCES, seed=11):
+    rows = []
+    for cadence in cadences:
+        sim = Simulator()
+        kernel = Kernel(sim, NVM_GEN2, KernelConfig(
+            seed=seed, capacity_sectors=1 << 20, write_cache_depth=8,
+            journal=JournalConfig(journal_blocks=256,
+                                  checkpoint_every_txns=cadence)))
+        fsync_ns, synced = _run_workload(kernel, files, fsync_every,
+                                         write_kib, seed=seed)
+        journal = kernel.fs.journal
+        journal_kib = journal.bytes_written / 1024
+        checkpoints = journal.checkpoints
+        kernel.crash()
+        report = kernel.recover()
+        audit = fsck(kernel.fs)
+        intact = sum(
+            1 for path, data in synced
+            if _read_file(kernel.fs, path) == data)
+        rows.append({
+            "checkpoint_every": cadence or "overflow",
+            "files": files,
+            "fsyncs": len(fsync_ns),
+            "fsync_avg_us": (sum(fsync_ns) / len(fsync_ns) / 1000
+                             if fsync_ns else 0.0),
+            "journal_kib": journal_kib,
+            "checkpoints": checkpoints,
+            "replayed_txns": report.replayed_txns,
+            "fsck": "ok" if audit.ok else "FAIL",
+            "recovered_files": f"{intact}/{len(synced)}",
+        })
+    return rows
+
+
+def _read_file(fs, path):
+    try:
+        inode = fs.lookup(path)
+    except Exception:
+        return None
+    return fs.read_sync(inode, 0, inode.size)
+
+
+def check_shape(rows):
+    """The journaling trade-off any run must exhibit."""
+    for row in rows:
+        assert row["fsck"] == "ok"
+        intact, total = map(int, row["recovered_files"].split("/"))
+        # Every fsynced file survives the crash byte-for-byte.
+        assert intact == total
+    by_cadence = {row["checkpoint_every"]: row for row in rows}
+    lazy = by_cadence["overflow"]
+    eager = by_cadence[min(c for c in by_cadence if c != "overflow")]
+    # Eager checkpointing shortens the log left to replay at mount.
+    assert eager["replayed_txns"] <= lazy["replayed_txns"]
+    # ... and actually checkpoints during the run.
+    assert eager["checkpoints"] > lazy["checkpoints"]
+
+
+def test_crash_recovery(benchmark):
+    rows = benchmark.pedantic(crash_recovery_sweep, kwargs=FULL,
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "Crash recovery — fsync cost and replay vs checkpoint cadence",
+        COLUMNS, rows))
+    check_shape(rows)
+    lazy = rows[0]
+    benchmark.extra_info["lazy_replayed_txns"] = lazy["replayed_txns"]
+    benchmark.extra_info["lazy_fsync_avg_us"] = round(
+        lazy["fsync_avg_us"], 2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="miniature sweep for CI smoke testing")
+    args = parser.parse_args(argv)
+    rows = crash_recovery_sweep(**(QUICK if args.quick else FULL))
+    print(format_table(
+        "Crash recovery — fsync cost and replay vs checkpoint cadence",
+        COLUMNS, rows))
+    check_shape(rows)
+    print("shape OK: fsck clean, every fsynced file intact, eager "
+          "checkpoints shorten replay")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

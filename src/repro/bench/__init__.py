@@ -7,7 +7,8 @@
   ``fig1_latency_breakdown``, ``table1_breakdown``, ``fig3_throughput``
   (3a/3b), ``fig3c_latency``, ``fig3d_iouring``, ``extent_stability``
   (§4's YCSB measurement), ``fault_resilience`` (availability under an
-  injected fault plan), and the ablations.
+  injected fault plan), ``crash_consistency`` (crash-point enumeration
+  with recovery verification), and the ablations.
 
 Each experiment returns plain row dictionaries so the ``benchmarks/``
 pytest files, ``EXPERIMENTS.md``, and tests all consume the same data.
@@ -19,6 +20,7 @@ from repro.bench.experiments import (
     ablation_invalidation_rate,
     ablation_resubmit_bound,
     ablation_vm_mode,
+    crash_consistency,
     extent_stability,
     fault_resilience,
     fig1_latency_breakdown,
@@ -36,6 +38,7 @@ __all__ = [
     "ablation_invalidation_rate",
     "ablation_resubmit_bound",
     "ablation_vm_mode",
+    "crash_consistency",
     "extent_stability",
     "fault_resilience",
     "fig1_latency_breakdown",

@@ -6,11 +6,13 @@ Commands:
   table (``--quick`` runs miniature versions in a few seconds).
 * ``experiment <name>`` — run one experiment (fig1, table1, fig3a, fig3b,
   fig3c, fig3d, stability, bound, churn, vmmode, appcache, interference,
-  resilience).
+  resilience, crash).
   ``--json`` prints the rows as JSON instead of a table; ``--trace-jsonl
   PATH`` additionally records the full tracepoint stream to ``PATH``;
   ``--fault-plan SPEC`` arms a deterministic fault plan (see
-  ``docs/faults.md``) for every kernel the experiment builds.
+  ``docs/faults.md``) for every kernel the experiment builds;
+  ``--crash-at MODE:INDEX`` narrows the ``crash`` experiment to a single
+  enumerated crash point (e.g. ``flush:2`` or ``op-torn:9``).
 * ``metrics <name>`` — run one experiment under the observability bus and
   print per-layer CPU-ns attribution (reconciled against Table 1), the
   chain-bypass summary, stack-health metrics (including fault-path
@@ -33,6 +35,7 @@ from repro.bench import (
     ablation_invalidation_rate,
     ablation_resubmit_bound,
     ablation_vm_mode,
+    crash_consistency,
     extent_stability,
     fault_resilience,
     fig1_latency_breakdown,
@@ -116,7 +119,13 @@ _EXPERIMENTS = {
                        rates=(0.0, 0.01) if quick
                        else (0.0, 0.001, 0.01, 0.05),
                        duration_ns=1_500_000 if quick else 4_000_000)),
+    "crash": ("Crash consistency — enumerated power cuts, recovery, fsck",
+              lambda quick: crash_consistency(
+                  modes=("flush", "op-torn") if quick
+                  else ("flush", "op", "op-torn", "sync"))),
 }
+
+_CRASH_MODES = ("flush", "op", "op-torn", "sync")
 
 _PROGRAMS = {
     "index": lambda: _library().index_traversal_program(fanout=16),
@@ -154,8 +163,27 @@ def _fault_context(args):
     return fault_injection(parse_fault_spec(spec))
 
 
+def _parse_crash_at(value: str):
+    """``MODE:INDEX`` -> (mode, index) for ``--crash-at``."""
+    mode, sep, index = value.partition(":")
+    if not sep or mode not in _CRASH_MODES or not index.isdigit():
+        raise SystemExit(
+            f"--crash-at expects MODE:INDEX with MODE one of "
+            f"{', '.join(_CRASH_MODES)} (got {value!r})")
+    return mode, int(index)
+
+
 def _cmd_experiment(args) -> int:
     title, runner = _EXPERIMENTS[args.name]
+    crash_at = getattr(args, "crash_at", None)
+    if crash_at:
+        if args.name != "crash":
+            raise SystemExit(
+                "--crash-at only applies to the 'crash' experiment")
+        mode, point = _parse_crash_at(crash_at)
+        title = f"{title} [{mode}:{point}]"
+        runner = lambda quick: crash_consistency(modes=(mode,),  # noqa: E731
+                                                 point=point)
     with _fault_context(args):
         if args.trace_jsonl:
             _touch(args.trace_jsonl)
@@ -272,6 +300,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", metavar="SPEC", default=None,
         help="arm a fault plan, e.g. "
              "'seed=7,read_error_rate=0.01,error_burst=2'")
+    experiment.add_argument(
+        "--crash-at", metavar="MODE:INDEX", default=None,
+        help="('crash' only) run a single crash point, e.g. 'flush:2' "
+             "or 'op-torn:9'")
     experiment.set_defaults(func=_cmd_experiment)
 
     metrics = sub.add_parser(

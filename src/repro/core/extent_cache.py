@@ -117,6 +117,7 @@ class NvmeExtentCache:
         self.invalidations = 0
         self.refreshes = 0
         fs.extent_change_listeners.append(self._on_extent_change)
+        fs.recovery_listeners.append(self._on_recovery)
 
     def install(self, inode: Inode) -> CacheEntry:
         """(Re)snapshot the inode's extents; called by the install ioctl."""
@@ -145,6 +146,14 @@ class NvmeExtentCache:
         entry = self._entries.get(inode.number)
         if entry is not None and entry.valid:
             self.force_invalidate(entry, reason="unmap")
+
+    def _on_recovery(self) -> None:
+        """Crash recovery replaced the file system: every snapshot is
+        derived from dead in-memory state and must go.  Chains in flight
+        afterwards miss (EEXTENT) and re-run the install protocol."""
+        for entry in list(self._entries.values()):
+            self.force_invalidate(entry, reason="power_loss")
+        self._entries.clear()
 
     def force_invalidate(self, entry: CacheEntry,
                          reason: str = "forced") -> None:

@@ -8,6 +8,8 @@
 * :mod:`~repro.device.nvme` — the NVMe device: submission/completion queues,
   bounded internal parallelism, interrupt delivery into the simulated kernel.
 * :mod:`~repro.device.trace` — I/O trace recording for tests and debugging.
+* :mod:`~repro.device.writecache` — the volatile write cache behind NVMe
+  FLUSH/FUA semantics and power-loss injection.
 """
 
 from repro.device.blockdev import BlockDevice
@@ -24,12 +26,15 @@ from repro.device.nvme import (
     NvmeDevice,
     STATUS_MEDIA_ERROR,
     STATUS_OK,
+    STATUS_POWER_FAIL,
     STATUS_TIMEOUT,
 )
 from repro.device.trace import IoTrace, TraceEntry
+from repro.device.writecache import CachedWrite, WriteCache
 
 __all__ = [
     "BlockDevice",
+    "CachedWrite",
     "DEVICE_PROFILES",
     "HDD",
     "IoTrace",
@@ -41,6 +46,8 @@ __all__ = [
     "NvmeDevice",
     "STATUS_MEDIA_ERROR",
     "STATUS_OK",
+    "STATUS_POWER_FAIL",
     "STATUS_TIMEOUT",
     "TraceEntry",
+    "WriteCache",
 ]

@@ -8,9 +8,11 @@ sectors actually written.  It has no timing — service latency lives in
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict
 
 from repro.errors import InvalidArgument, IoError
+from repro.obs import events as obs_events
+from repro.obs.bus import NULL_BUS
 
 __all__ = ["BlockDevice", "SECTOR_SIZE"]
 
@@ -27,6 +29,13 @@ class BlockDevice:
         self._sectors: Dict[int, bytes] = {}
         self.reads = 0
         self.writes = 0
+        self.discards = 0
+        #: Observability: the owning kernel points these at its bus/clock.
+        #: Only ``discard`` emits (TRIM is rare and never on the read path,
+        #: so read-path traces stay byte-identical); read/write sector
+        #: counts are derived from ``nvme_complete`` events instead.
+        self.bus = NULL_BUS
+        self.clock: Callable[[], int] = lambda: 0
 
     @property
     def capacity_bytes(self) -> int:
@@ -66,8 +75,16 @@ class BlockDevice:
     def discard(self, lba: int, count: int) -> None:
         """TRIM: drop sectors back to zeroes (frees memory)."""
         self._check_range(lba, count)
+        self.discards += count
         for sector in range(lba, lba + count):
             self._sectors.pop(sector, None)
+        if self.bus.enabled:
+            self.bus.emit(obs_events.BLOCKDEV_DISCARD, self.clock(),
+                          lba=lba, sectors=count)
+
+    def image(self) -> Dict[int, bytes]:
+        """A snapshot of every written sector (for determinism tests)."""
+        return dict(self._sectors)
 
     def written_sectors(self) -> int:
         """Number of sectors currently holding data (for tests)."""

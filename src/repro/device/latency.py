@@ -49,6 +49,9 @@ class LatencyModel:
     parallelism: int
     #: Uniform jitter applied to each service time (fraction of the mean).
     jitter: float = 0.02
+    #: NVMe FLUSH service time (draining the volatile write cache to
+    #: media); 0 derives ``2 * write_ns``, the usual cache-drain cost.
+    flush_ns: int = 0
 
     def __post_init__(self):
         if self.read_ns <= 0 or self.write_ns <= 0:
@@ -57,12 +60,17 @@ class LatencyModel:
             raise InvalidArgument("parallelism must be >= 1")
         if not 0.0 <= self.jitter < 1.0:
             raise InvalidArgument("jitter must be in [0, 1)")
+        if self.flush_ns < 0:
+            raise InvalidArgument("flush_ns must be >= 0")
 
     def sample_read(self, rng: random.Random) -> int:
         return self._sample(self.read_ns, rng)
 
     def sample_write(self, rng: random.Random) -> int:
         return self._sample(self.write_ns, rng)
+
+    def sample_flush(self, rng: random.Random) -> int:
+        return self._sample(self.flush_ns or 2 * self.write_ns, rng)
 
     def _sample(self, mean: int, rng: random.Random) -> int:
         if self.jitter == 0.0:

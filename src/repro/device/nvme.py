@@ -14,16 +14,17 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Optional
 
-from repro.errors import InvalidArgument, IoError
+from repro.errors import InvalidArgument, IoError, PowerLossError
 from repro.device.blockdev import SECTOR_SIZE, BlockDevice
 from repro.device.latency import LatencyModel
 from repro.device.trace import IoTrace, TraceEntry
+from repro.device.writecache import WriteCache
 from repro.obs import events as obs_events
 from repro.obs.bus import NULL_BUS, TraceBus
 from repro.sim import Simulator, Store
 
 __all__ = ["NvmeCommand", "NvmeDevice", "STATUS_MEDIA_ERROR", "STATUS_OK",
-           "STATUS_TIMEOUT"]
+           "STATUS_POWER_FAIL", "STATUS_TIMEOUT"]
 
 #: NVMe completion statuses.  Error completions (anything non-zero) carry
 #: ``data=None`` — never a short buffer — so the length invariant
@@ -31,6 +32,8 @@ __all__ = ["NvmeCommand", "NvmeDevice", "STATUS_MEDIA_ERROR", "STATUS_OK",
 STATUS_OK = 0
 STATUS_MEDIA_ERROR = 1
 STATUS_TIMEOUT = 2
+#: Power was cut while the command was in flight; media was not touched.
+STATUS_POWER_FAIL = 3
 
 
 class NvmeCommand:
@@ -45,24 +48,32 @@ class NvmeCommand:
 
     __slots__ = ("opcode", "lba", "sectors", "data", "cookie", "source",
                  "submit_ns", "complete_ns", "status", "span", "path",
-                 "driver_ns")
+                 "driver_ns", "fua")
 
     def __init__(self, opcode: str, lba: int, sectors: int,
                  data: Optional[bytes] = None, cookie: Any = None,
-                 source: str = "bio"):
-        if opcode not in ("read", "write"):
+                 source: str = "bio", fua: bool = False):
+        if opcode not in ("read", "write", "flush"):
             raise InvalidArgument(f"bad NVMe opcode {opcode!r}")
         if opcode == "write" and data is None:
             raise InvalidArgument("write command needs data")
         if opcode == "write" and data is not None and \
                 len(data) != sectors * SECTOR_SIZE:
             raise InvalidArgument("write data length != sectors * 512")
+        if opcode == "flush" and (sectors != 0 or data is not None):
+            raise InvalidArgument("flush carries no sectors or data")
+        if fua and opcode != "write":
+            raise InvalidArgument("FUA applies to writes only")
         self.opcode = opcode
         self.lba = lba
         self.sectors = sectors
         self.data = data
         self.cookie = cookie
         self.source = source
+        #: Force unit access: this write bypasses the volatile cache and
+        #: is durable at completion (how the journal commits without a
+        #: full cache drain).
+        self.fua = fua
         self.submit_ns = -1
         self.complete_ns = -1
         self.status = 0
@@ -100,7 +111,8 @@ class NvmeDevice:
     def __init__(self, sim: Simulator, model: LatencyModel,
                  media: BlockDevice, rng: random.Random,
                  trace: Optional[IoTrace] = None,
-                 bus: Optional[TraceBus] = None):
+                 bus: Optional[TraceBus] = None,
+                 cache_depth: int = 0):
         self.sim = sim
         self.model = model
         self.media = media
@@ -115,6 +127,16 @@ class NvmeDevice:
         self.completed = 0
         self.media_errors = 0
         self.timeouts = 0
+        #: Volatile write cache; depth 0 keeps the device write-through
+        #: and its behaviour byte-identical to a build without the cache.
+        self.write_cache: Optional[WriteCache] = (
+            WriteCache(media, cache_depth) if cache_depth > 0 else None)
+        self.flushes = 0
+        #: True after :meth:`power_loss`; submissions then raise
+        #: :class:`PowerLossError` and in-flight commands complete with
+        #: ``STATUS_POWER_FAIL`` without touching media.
+        self.powered_off = False
+        self.power_cycles = 0
         #: Optional :class:`repro.faults.FaultPlan` consulted once per
         #: command as it enters a service slot (transients/timeouts/spikes).
         self.fault_plan = None
@@ -147,6 +169,9 @@ class NvmeDevice:
     def submit(self, command: NvmeCommand) -> None:
         """Post a command to the submission queue (no CPU cost here; the
         driver charges its own submission cost)."""
+        if self.powered_off:
+            raise PowerLossError(
+                f"submit to powered-off device: {command!r}")
         if command.complete_ns != -1:
             raise IoError(
                 f"stale NVMe descriptor resubmitted without retarget: "
@@ -170,11 +195,15 @@ class NvmeDevice:
             command = yield self.submission_queue.get()
             if command.opcode == "read":
                 latency = self.model.sample_read(self.rng)
+            elif command.opcode == "flush":
+                latency = self.model.sample_flush(self.rng)
             else:
                 latency = self.model.sample_write(self.rng)
             fault = None
             plan = self.fault_plan
-            if plan is not None:
+            # Flushes are exempt from transient/timeout/spike draws; their
+            # failure mode is the power cut checked at completion below.
+            if plan is not None and command.opcode != "flush":
                 fault = plan.media_decision(command, self.sim.now)
                 if fault == "spike":
                     latency = max(1, int(latency * plan.spec.spike_factor))
@@ -193,7 +222,12 @@ class NvmeDevice:
                                   source=command.source, span=command.span,
                                   path=command.path)
             yield self.sim.timeout(latency)
-            if fault == "timeout":
+            if self.powered_off:
+                # Power was cut while this command was in its service
+                # slot: it never reached media.
+                command.status = STATUS_POWER_FAIL
+                command.data = None
+            elif fault == "timeout":
                 command.status = STATUS_TIMEOUT
                 command.data = None
                 self.timeouts += 1
@@ -222,23 +256,71 @@ class NvmeDevice:
                     queue_ns=command.complete_ns - command.submit_ns - latency,
                     status=command.status, span=command.span,
                     path=command.path)
+            if command.opcode == "flush" and command.status == STATUS_OK:
+                # The fault plan may schedule a power cut "right after the
+                # k-th flush": flushed data is durable, everything written
+                # to the cache afterwards is lost, and the handler below
+                # resumes a workload that will trip over the dead device.
+                if plan is not None and plan.power_loss_due(self.flushes):
+                    self.power_loss(rng=plan.power_rng,
+                                    tear=plan.spec.torn_write > 0)
             handler = self.completion_handler
             if handler is None:
                 raise IoError("NVMe completion with no handler registered")
             handler(command)
 
     def _do_media(self, command: NvmeCommand) -> None:
+        if command.opcode == "flush":
+            flushed = self.write_cache.flush() \
+                if self.write_cache is not None else 0
+            self.flushes += 1
+            if self.bus.enabled:
+                self.bus.emit(obs_events.NVME_FLUSH, self.sim.now,
+                              records=flushed, span=command.span,
+                              path=command.path)
+            return
         if self._command_fails(command):
             command.status = STATUS_MEDIA_ERROR
             command.data = None
             self.media_errors += 1
             return
         if command.opcode == "read":
-            data = self.media.read(command.lba, command.sectors)
+            if self.write_cache is not None:
+                data = self.write_cache.read(command.lba, command.sectors)
+            else:
+                data = self.media.read(command.lba, command.sectors)
             if len(data) != command.sectors * SECTOR_SIZE:
                 raise IoError(
                     f"media returned {len(data)}B for "
                     f"{command.sectors}-sector read")
             command.data = data
+        elif self.write_cache is not None and not command.fua:
+            self.write_cache.write(command.lba, command.data)
         else:
+            # FUA (or write-through device): straight to media.  The
+            # journal only FUA-writes its own region, which data writes
+            # never touch, so ordering against cached records is moot.
             self.media.write(command.lba, command.data)
+
+    # -- power lifecycle -----------------------------------------------------
+
+    def power_loss(self, rng: Optional[random.Random] = None,
+                   tear: bool = False) -> dict:
+        """Cut power: drop volatile cache contents (optionally tearing the
+        oldest record) and refuse all further submissions."""
+        info = {"dropped": 0, "torn_sectors": 0, "torn_lba": -1}
+        if self.write_cache is not None:
+            info = self.write_cache.power_loss(rng=rng, tear=tear)
+        self.powered_off = True
+        self.power_cycles += 1
+        if self.bus.enabled:
+            self.bus.emit(obs_events.POWER_LOSS, self.sim.now,
+                          dropped=info["dropped"],
+                          torn_sectors=info["torn_sectors"],
+                          torn_lba=info["torn_lba"],
+                          flushes=self.flushes)
+        return info
+
+    def power_on(self) -> None:
+        """Bring the device back after a crash (cache is already empty)."""
+        self.powered_off = False

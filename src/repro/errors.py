@@ -132,6 +132,29 @@ class ChainLimitExceeded(KernelError):
     errno_name = "ECHAINLIM"
 
 
+class PowerLossError(KernelError):
+    """The simulated device lost power.
+
+    Raised by :meth:`~repro.device.nvme.NvmeDevice.submit` once the device
+    is powered off, which unwinds the running workload generator — exactly
+    how the crash-point harness stops a workload mid-operation.  Un-flushed
+    volatile-cache contents are already gone by the time this is raised.
+    """
+
+    errno_name = "EPOWERFAIL"
+
+
+class JournalCorrupt(KernelError):
+    """On-media metadata (superblock/checkpoint) failed its checksum.
+
+    A torn or corrupt *journal txn* is not an error — replay discards it —
+    but a superblock or checkpoint that cannot be read leaves nothing to
+    recover from.
+    """
+
+    errno_name = "EFSCORRUPT"
+
+
 class NotInstalled(KernelError):
     """A tagged I/O was issued on a descriptor without an installed program."""
 

@@ -36,6 +36,7 @@ from repro.errors import InvalidArgument
 from repro.sim.rng import RandomStreams
 
 __all__ = [
+    "FAULT_POWER_LOSS",
     "FAULT_SPIKE",
     "FAULT_STALE",
     "FAULT_TIMEOUT",
@@ -53,6 +54,7 @@ FAULT_TRANSIENT = "transient"
 FAULT_TIMEOUT = "timeout"
 FAULT_SPIKE = "spike"
 FAULT_STALE = "stale"
+FAULT_POWER_LOSS = "power_loss"
 
 
 @dataclass(frozen=True)
@@ -80,6 +82,13 @@ class FaultSpec:
     #: Injection window in simulated ns; ``window_end_ns == 0`` is open.
     window_start_ns: int = 0
     window_end_ns: int = 0
+    #: Cut device power immediately after the k-th completed NVMe FLUSH
+    #: (0 = off).  One-shot: the crash-point harness sweeps k over every
+    #: flush boundary of a workload.
+    power_loss_after_flushes: int = 0
+    #: At the power cut, tear the oldest volatile write at a seed-chosen
+    #: sector boundary instead of dropping it whole (0/1).
+    torn_write: int = 0
 
     def __post_init__(self) -> None:
         for name in ("read_error_rate", "write_error_rate", "timeout_rate",
@@ -99,6 +108,10 @@ class FaultSpec:
         if self.stale_interval_ns < 0 or self.window_start_ns < 0 or \
                 self.window_end_ns < 0:
             raise InvalidArgument("intervals/windows must be >= 0")
+        if self.power_loss_after_flushes < 0:
+            raise InvalidArgument("power_loss_after_flushes must be >= 0")
+        if self.torn_write not in (0, 1):
+            raise InvalidArgument("torn_write must be 0 or 1")
 
     def active(self, now: int) -> bool:
         """Is the injection window open at simulated time ``now``?"""
@@ -109,11 +122,13 @@ class FaultSpec:
     def any_faults(self) -> bool:
         return (self.read_error_rate > 0 or self.write_error_rate > 0 or
                 self.timeout_rate > 0 or self.spike_rate > 0 or
-                self.stale_interval_ns > 0)
+                self.stale_interval_ns > 0 or
+                self.power_loss_after_flushes > 0)
 
 
 _INT_FIELDS = {"seed", "error_burst", "stale_interval_ns",
-               "window_start_ns", "window_end_ns"}
+               "window_start_ns", "window_end_ns",
+               "power_loss_after_flushes", "torn_write"}
 
 
 def parse_fault_spec(text: str) -> FaultSpec:
@@ -153,14 +168,19 @@ class FaultPlan:
         self.spec = spec
         streams = RandomStreams(spec.seed).fork(f"faults/{kernel_seed}")
         self._media_rng = streams.stream("media")
+        #: Dedicated stream for the power cut (torn-write boundary choice),
+        #: so arming power loss perturbs no other fault decision.
+        self.power_rng = streams.stream("power")
         #: (opcode, lba) -> (kind, remaining failures) for open episodes.
         self._episodes: Dict[Tuple[str, int], Tuple[str, int]] = {}
         #: Targets whose next service is guaranteed to succeed.
         self._cooldown: set = set()
         #: Injected-fault counters by kind, for metrics reconciliation.
         self.injected: Dict[str, int] = {FAULT_TRANSIENT: 0, FAULT_TIMEOUT: 0,
-                                         FAULT_SPIKE: 0, FAULT_STALE: 0}
+                                         FAULT_SPIKE: 0, FAULT_STALE: 0,
+                                         FAULT_POWER_LOSS: 0}
         self._next_stale = spec.window_start_ns + spec.stale_interval_ns
+        self._power_loss_fired = False
 
     # -- media-path faults (consumed by NvmeDevice) ---------------------
 
@@ -243,6 +263,23 @@ class FaultPlan:
         while self._next_stale <= now:
             self._next_stale += spec.stale_interval_ns
         self.injected[FAULT_STALE] += 1
+        return True
+
+    # -- power loss (consumed by NvmeDevice at flush completion) --------
+
+    def power_loss_due(self, completed_flushes: int) -> bool:
+        """One-shot: has the armed flush boundary just been crossed?
+
+        The device asks after every completed FLUSH; the cut fires exactly
+        once, when ``completed_flushes`` reaches the configured k.
+        """
+        spec = self.spec
+        if spec.power_loss_after_flushes == 0 or self._power_loss_fired:
+            return False
+        if completed_flushes < spec.power_loss_after_flushes:
+            return False
+        self._power_loss_fired = True
+        self.injected[FAULT_POWER_LOSS] += 1
         return True
 
     def total_injected(self) -> int:

@@ -8,14 +8,22 @@ paper's BPF-for-storage mechanism (`nvme_completion_hook`,
 `syscall_read_hook`, ioctl handlers) are declared here and filled in by
 :mod:`repro.core`, keeping the kernel ignorant of BPF exactly as the layering
 in the paper prescribes.
+
+Crash consistency lives in :mod:`repro.kernel.journal` (write-ahead
+metadata journal + checkpoints) and :mod:`repro.kernel.recovery`
+(mount-after-crash replay and the fsck invariant checker); the kernel's
+``sys_fsync`` and ``crash``/``recover`` lifecycle tie them to the NVMe
+device's volatile write cache.
 """
 
 from repro.kernel.extent import Extent, ExtentTree
 from repro.kernel.extfs import ExtFs
 from repro.kernel.iouring import IoUring
+from repro.kernel.journal import Journal, JournalConfig, serialize_fs
 from repro.kernel.kernel import Kernel, KernelConfig, NvmeRetryPolicy, ReadResult
 from repro.kernel.layers import CostModel
 from repro.kernel.process import File, Process
+from repro.kernel.recovery import FsckReport, RecoveryReport, fsck, reload_fs
 
 __all__ = [
     "CostModel",
@@ -23,10 +31,17 @@ __all__ = [
     "ExtentTree",
     "ExtFs",
     "File",
+    "FsckReport",
     "IoUring",
+    "Journal",
+    "JournalConfig",
     "Kernel",
     "KernelConfig",
     "NvmeRetryPolicy",
     "Process",
     "ReadResult",
+    "RecoveryReport",
+    "fsck",
+    "reload_fs",
+    "serialize_fs",
 ]

@@ -11,8 +11,16 @@ Provides the pieces of ext4 the paper's design interacts with:
   reports ``"grow"``; unmapping or moving blocks reports ``"unmap"``, and
   only the latter must invalidate.
 
-Metadata lives in memory (the experiments never measure metadata I/O);
-file *data* lives on the backing :class:`~repro.device.blockdev.BlockDevice`.
+Metadata is authoritative in memory for the hot read paths the paper
+measures; when a :class:`~repro.kernel.journal.JournalConfig` is supplied it
+is *also* made durable through a write-ahead metadata journal plus
+checkpoints in a reserved on-media region, so the file system survives a
+simulated power cut (see :mod:`repro.kernel.journal` and
+:mod:`repro.kernel.recovery`).  Every mutating operation then runs inside a
+journal transaction and appends logical records (create/mkdir/unlink/
+rename/alloc/punch/size); ``fsync`` through the kernel commits them.
+
+File *data* lives on the backing :class:`~repro.device.blockdev.BlockDevice`.
 ``read_sync``/``write_sync`` move data without simulated time for test and
 workload setup; timed data paths go through the kernel's BIO/NVMe layers.
 """
@@ -32,6 +40,7 @@ from repro.errors import (
     NotADirectory,
 )
 from repro.kernel.extent import Extent, ExtentTree
+from repro.kernel.journal import Journal, JournalConfig, serialize_fs
 from repro.obs import events as obs_events
 from repro.obs.bus import NULL_BUS
 
@@ -117,16 +126,67 @@ class _Allocator:
                 merged.append((run_start, run_count))
         self._free = merged
 
+    def reserve_run(self, start: int, count: int) -> None:
+        """Mark ``[start, start+count)`` as in use (recovery rebuild).
+
+        The run must currently be free; overlap with an already-reserved
+        run raises, which is how recovery surfaces extent overlap baked
+        into corrupt metadata.
+        """
+        if count < 1:
+            raise InvalidArgument("reserve_run needs count >= 1")
+        for index, (run_start, run_count) in enumerate(self._free):
+            if run_start <= start and \
+                    start + count <= run_start + run_count:
+                pieces = []
+                if start > run_start:
+                    pieces.append((run_start, start - run_start))
+                tail = run_start + run_count - (start + count)
+                if tail:
+                    pieces.append((start + count, tail))
+                self._free[index : index + 1] = pieces
+                return
+        raise InvalidArgument(
+            f"blocks [{start}, {start + count}) are not free")
+
+
+class _TxnScope:
+    """Context manager bracketing one journal transaction (no-op when the
+    file system has no journal)."""
+
+    __slots__ = ("journal",)
+
+    def __init__(self, journal: Optional[Journal]):
+        self.journal = journal
+
+    def __enter__(self) -> "_TxnScope":
+        if self.journal is not None:
+            self.journal.begin()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.journal is not None:
+            self.journal.end()
+        return False
+
 
 class ExtFs:
     """The file system: namespace + extents + allocator + media access."""
 
     def __init__(self, media: BlockDevice,
                  max_extent_blocks: int = 32768,
-                 scatter_rng: Optional[random.Random] = None):
+                 scatter_rng: Optional[random.Random] = None,
+                 journal_config: Optional[JournalConfig] = None,
+                 format_media: bool = True):
         self.media = media
         self.total_blocks = media.capacity_sectors // SECTORS_PER_BLOCK
-        self._allocator = _Allocator(self.total_blocks)
+        if journal_config is not None:
+            self.journal: Optional[Journal] = Journal(media, journal_config)
+            reserved = self.journal.reserved_blocks
+        else:
+            self.journal = None
+            reserved = 1
+        self._allocator = _Allocator(self.total_blocks, reserved=reserved)
         self.max_extent_blocks = max_extent_blocks
         self.scatter_rng = scatter_rng
         self._next_ino = 2
@@ -134,12 +194,135 @@ class ExtFs:
         #: Subscribers notified as ``fn(inode, kind)`` with kind in
         #: {"grow", "unmap"} on every extent mutation.
         self.extent_change_listeners: List[Callable[[Inode, str], None]] = []
+        #: Subscribers notified (no arguments) after crash recovery has
+        #: rebuilt this file system from media — any layer caching derived
+        #: metadata (the NVMe-layer extent cache) must drop it.
+        self.recovery_listeners: List[Callable[[], None]] = []
         #: Observability: the kernel that owns this fs points these at its
         #: tracepoint bus and simulated clock; standalone ExtFs instances
         #: (unit tests, setup paths) keep the disabled defaults.
         self.bus = NULL_BUS
         self.clock: Callable[[], int] = lambda: 0
         self.resolve_cost_ns = 0
+        #: Blocks punched by not-yet-committed txns.  They leave the
+        #: extent trees immediately but rejoin the allocator only when the
+        #: freeing txn is durable — reuse before commit would let new data
+        #: overwrite blocks a crash rollback still references.
+        self._pending_frees: List[Tuple[int, int]] = []
+        #: Partial-block tail zeroings owed by not-yet-committed truncates,
+        #: as (inode, file_block, lo, hi) byte ranges within the block.
+        #: Zeroing in place immediately would destroy committed data if
+        #: the truncate rolls back; like ext4's ordered data path, the
+        #: zeros reach media only once the shrinking txn is durable.
+        self._pending_zeroes: List[Tuple[Inode, int, int, int]] = []
+        if self.journal is not None:
+            self.journal.commit_listeners.append(self._release_pending_frees)
+            self.journal.commit_listeners.append(self._apply_pending_zeroes)
+        if self.journal is not None and format_media:
+            # mkfs: an empty checkpoint + superblock, so a crash before the
+            # first commit still recovers to a valid (empty) file system.
+            self.journal.checkpoint_sync(serialize_fs(self))
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+
+    def txn(self) -> _TxnScope:
+        """Open a journal transaction scope (re-entrant, no-op without a
+        journal).  Callers composing several mutations that must land
+        atomically — the kernel's write path pairing an allocation with
+        its size update — bracket them with this."""
+        return _TxnScope(self.journal)
+
+    def _log(self, record: Dict[str, object]) -> None:
+        if self.journal is not None:
+            self.journal.log(record)
+
+    def checkpoint_sync(self) -> None:
+        """Serialise all metadata to the on-media checkpoint, untimed.
+
+        Used after untimed setup (``create_file``/``write_sync``) so that
+        a subsequent crash does not roll back to an empty file system, and
+        by the kernel's fsync path when the journal region fills.
+        """
+        if self.journal is None:
+            raise InvalidArgument("file system has no journal")
+        self.journal.checkpoint_sync(serialize_fs(self))
+
+    def notify_recovery(self) -> None:
+        """Tell derived-metadata caches that recovery replaced the fs."""
+        for listener in self.recovery_listeners:
+            listener()
+
+    def _release_pending_frees(self) -> None:
+        for start, count in self._pending_frees:
+            self._allocator.release(start, count)
+        self._pending_frees.clear()
+
+    def _apply_pending_zeroes(self) -> None:
+        pending, self._pending_zeroes = self._pending_zeroes, []
+        for inode, file_block, lo, hi in pending:
+            phys = inode.extents.lookup(file_block)
+            if phys is None or lo >= hi:
+                continue  # block punched/unlinked since; nothing kept
+            lba = phys * SECTORS_PER_BLOCK
+            buffer = bytearray(self.media.read(lba, SECTORS_PER_BLOCK))
+            buffer[lo:hi] = bytes(hi - lo)
+            self.media.write(lba, bytes(buffer))
+
+    def _zero_block_tail(self, inode: Inode, new_size: int) -> None:
+        """Zero ``[new_size, end-of-block)`` of the kept partial block, so
+        a later extension past it reads zeros (POSIX).  A data write, not
+        a journalled metadata change: immediate without a journal, owed
+        until commit with one (see ``_pending_zeroes``)."""
+        file_block = new_size // BLOCK_SIZE
+        within = new_size % BLOCK_SIZE
+        if self.journal is not None:
+            self._pending_zeroes.append(
+                (inode, file_block, within, BLOCK_SIZE))
+            return
+        phys = inode.extents.lookup(file_block)
+        if phys is None:
+            return
+        lba = phys * SECTORS_PER_BLOCK
+        buffer = bytearray(self.media.read(lba, SECTORS_PER_BLOCK))
+        buffer[within:] = bytes(BLOCK_SIZE - within)
+        self.media.write(lba, bytes(buffer))
+
+    def _trim_pending_zeroes(self, inode: Inode, offset: int,
+                             length: int) -> None:
+        """A write into ``[offset, offset+length)`` supersedes any owed
+        zeroing there: the newest data must win at commit time."""
+        if not self._pending_zeroes:
+            return
+        kept: List[Tuple[Inode, int, int, int]] = []
+        for entry in self._pending_zeroes:
+            node, file_block, lo, hi = entry
+            base = file_block * BLOCK_SIZE
+            if node is not inode or base + hi <= offset or \
+                    base + lo >= offset + length:
+                kept.append(entry)
+                continue
+            if base + lo < offset:
+                kept.append((node, file_block, lo, offset - base))
+            if base + hi > offset + length:
+                kept.append((node, file_block, offset + length - base, hi))
+        self._pending_zeroes = kept
+
+    def _free_blocks(self, start: int, count: int) -> None:
+        """Free a physical run, honouring commit ordering.
+
+        Without a journal: immediate release + TRIM (the old behaviour,
+        byte-identical traces).  With one: the run is parked until the
+        freeing txn commits, and the data stays on media — an uncommitted
+        unlink/punch rolls back at recovery and must still find it.
+        """
+        if self.journal is None:
+            self._allocator.release(start, count)
+            self.media.discard(start * SECTORS_PER_BLOCK,
+                               count * SECTORS_PER_BLOCK)
+        else:
+            self._pending_frees.append((start, count))
 
     # ------------------------------------------------------------------
     # Namespace
@@ -189,16 +372,20 @@ class ExtFs:
         parent, name = self._parent_and_name(path)
         if name in parent.entries:
             raise FileExists(path)
-        inode = self._new_inode(is_dir=False)
-        parent.entries[name] = inode
+        with self.txn():
+            inode = self._new_inode(is_dir=False)
+            parent.entries[name] = inode
+            self._log({"op": "create", "path": path, "ino": inode.number})
         return inode
 
     def mkdir(self, path: str) -> Inode:
         parent, name = self._parent_and_name(path)
         if name in parent.entries:
             raise FileExists(path)
-        inode = self._new_inode(is_dir=True)
-        parent.entries[name] = inode
+        with self.txn():
+            inode = self._new_inode(is_dir=True)
+            parent.entries[name] = inode
+            self._log({"op": "mkdir", "path": path, "ino": inode.number})
         return inode
 
     def unlink(self, path: str) -> None:
@@ -208,8 +395,10 @@ class ExtFs:
         inode = parent.entries[name]
         if inode.is_dir:
             raise IsADirectory(path)
-        del parent.entries[name]
-        self._free_all_extents(inode)
+        with self.txn():
+            del parent.entries[name]
+            self._free_all_extents(inode)
+            self._log({"op": "unlink", "path": path})
 
     def rename(self, old_path: str, new_path: str) -> None:
         """Atomic namespace swap; replaces an existing plain file at the
@@ -222,10 +411,12 @@ class ExtFs:
         displaced = new_parent.entries.get(new_name)
         if displaced is not None and displaced.is_dir:
             raise IsADirectory(new_path)
-        del old_parent.entries[old_name]
-        new_parent.entries[new_name] = inode
-        if displaced is not None:
-            self._free_all_extents(displaced)
+        with self.txn():
+            del old_parent.entries[old_name]
+            new_parent.entries[new_name] = inode
+            if displaced is not None:
+                self._free_all_extents(displaced)
+            self._log({"op": "rename", "old": old_path, "new": new_path})
 
     def listdir(self, path: str) -> List[str]:
         inode = self.lookup(path)
@@ -253,28 +444,38 @@ class ExtFs:
             raise IsADirectory(f"inode {inode.number}")
         if length <= 0:
             raise InvalidArgument("length must be positive")
+        self._trim_pending_zeroes(inode, offset, length)
         first = offset // BLOCK_SIZE
         last = (offset + length - 1) // BLOCK_SIZE
         changed = False
         block = first
-        while block <= last:
-            if inode.extents.lookup(block) is not None:
-                block += 1
-                continue
-            # Find the hole's end within our range to allocate in one go.
-            hole_end = block
-            while hole_end <= last and \
-                    inode.extents.lookup(hole_end) is None:
-                hole_end += 1
-            need = hole_end - block
-            pieces = self._allocator.allocate(
-                need, self.max_extent_blocks, self.scatter_rng)
-            file_block = block
-            for start, count in pieces:
-                inode.extents.add(Extent(file_block, start, count))
-                file_block += count
-            changed = True
-            block = hole_end
+        with self.txn():
+            logged: List[List[int]] = []
+            while block <= last:
+                if inode.extents.lookup(block) is not None:
+                    block += 1
+                    continue
+                # Find the hole's end within our range to allocate in one
+                # go.
+                hole_end = block
+                while hole_end <= last and \
+                        inode.extents.lookup(hole_end) is None:
+                    hole_end += 1
+                need = hole_end - block
+                pieces = self._allocator.allocate(
+                    need, self.max_extent_blocks, self.scatter_rng)
+                file_block = block
+                for start, count in pieces:
+                    inode.extents.add(Extent(file_block, start, count))
+                    logged.append([file_block, start, count])
+                    file_block += count
+                changed = True
+                block = hole_end
+            if changed and logged:
+                # The physical placement is recorded, not re-derived, so
+                # replay maps the file onto the data already on media.
+                self._log({"op": "alloc", "ino": inode.number,
+                           "extents": logged})
         if changed:
             self._notify(inode, "grow")
         return changed
@@ -283,32 +484,51 @@ class ExtFs:
         """Unmap and free ``[offset, offset+length)`` (block aligned)."""
         if offset % BLOCK_SIZE or length % BLOCK_SIZE:
             raise InvalidArgument("punch must be block aligned")
-        punched = inode.extents.punch(offset // BLOCK_SIZE,
-                                      length // BLOCK_SIZE)
-        for extent in punched:
-            self._allocator.release(extent.phys_block, extent.count)
-            self.media.discard(extent.phys_block * SECTORS_PER_BLOCK,
-                               extent.count * SECTORS_PER_BLOCK)
+        with self.txn():
+            punched = inode.extents.punch(offset // BLOCK_SIZE,
+                                          length // BLOCK_SIZE)
+            for extent in punched:
+                self._free_blocks(extent.phys_block, extent.count)
+            if punched:
+                self._log({"op": "punch", "ino": inode.number,
+                           "file_block": offset // BLOCK_SIZE,
+                           "count": length // BLOCK_SIZE})
         if punched:
             self._notify(inode, "unmap")
 
     def truncate(self, inode: Inode, new_size: int) -> None:
         if new_size < 0:
             raise InvalidArgument("negative size")
-        old_blocks = (inode.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        old_size = inode.size
+        old_blocks = (old_size + BLOCK_SIZE - 1) // BLOCK_SIZE
         new_blocks = (new_size + BLOCK_SIZE - 1) // BLOCK_SIZE
-        if new_blocks < old_blocks:
-            self.punch_range(inode, new_blocks * BLOCK_SIZE,
-                             (old_blocks - new_blocks) * BLOCK_SIZE)
-        inode.size = new_size
+        with self.txn():
+            if new_blocks < old_blocks:
+                self.punch_range(inode, new_blocks * BLOCK_SIZE,
+                                 (old_blocks - new_blocks) * BLOCK_SIZE)
+            self.set_size(inode, new_size)
+        if 0 < new_size < old_size and new_size % BLOCK_SIZE:
+            self._zero_block_tail(inode, new_size)
+
+    def set_size(self, inode: Inode, new_size: int) -> None:
+        """Update ``inode.size``, journalled.
+
+        The kernel's timed write path calls this (instead of assigning
+        ``inode.size`` directly) so the size change lands in the same
+        transaction as the allocation it completes.
+        """
+        if new_size == inode.size:
+            return
+        with self.txn():
+            inode.size = new_size
+            self._log({"op": "size", "ino": inode.number,
+                       "size": new_size})
 
     def _free_all_extents(self, inode: Inode) -> None:
         had_blocks = len(inode.extents) > 0
         for extent in inode.extents.extents():
             inode.extents.punch(extent.file_block, extent.count)
-            self._allocator.release(extent.phys_block, extent.count)
-            self.media.discard(extent.phys_block * SECTORS_PER_BLOCK,
-                               extent.count * SECTORS_PER_BLOCK)
+            self._free_blocks(extent.phys_block, extent.count)
         inode.size = 0
         if had_blocks:
             self._notify(inode, "unmap")
@@ -368,7 +588,9 @@ class ExtFs:
         """Allocate and write immediately, without simulated time."""
         if not data:
             return
-        self.ensure_allocated(inode, offset, len(data))
+        with self.txn():
+            self.ensure_allocated(inode, offset, len(data))
+            self.set_size(inode, max(inode.size, offset + len(data)))
         position = offset
         remaining = memoryview(bytes(data))
         while remaining:
@@ -387,12 +609,17 @@ class ExtFs:
                 self.media.write(lba, bytes(existing))
             remaining = remaining[take:]
             position += take
-        inode.size = max(inode.size, offset + len(data))
 
     def read_sync(self, inode: Inode, offset: int, length: int) -> bytes:
-        """Read immediately, without simulated time."""
-        if length <= 0:
-            raise InvalidArgument("length must be positive")
+        """Read immediately, without simulated time.
+
+        A zero-length read returns ``b""`` (POSIX ``pread`` semantics);
+        only a negative length is an error.
+        """
+        if length < 0:
+            raise InvalidArgument("length must be >= 0")
+        if length == 0:
+            return b""
         out = bytearray()
         position = offset
         end = offset + length
@@ -404,8 +631,13 @@ class ExtFs:
             if phys is None:
                 out += bytes(take)
             else:
-                chunk = self.media.read(phys * SECTORS_PER_BLOCK,
-                                        SECTORS_PER_BLOCK)
+                chunk = bytearray(self.media.read(phys * SECTORS_PER_BLOCK,
+                                                  SECTORS_PER_BLOCK))
+                # Zeros owed by an uncommitted truncate are already
+                # visible to readers, like dirtied-but-unflushed pages.
+                for node, file_block, lo, hi in self._pending_zeroes:
+                    if node is inode and file_block == block:
+                        chunk[lo:hi] = bytes(hi - lo)
                 out += chunk[within : within + take]
             position += take
         return bytes(out)

@@ -30,11 +30,13 @@ from repro.device import (
     LatencyModel,
     NvmeCommand,
     NvmeDevice,
+    STATUS_POWER_FAIL,
     STATUS_TIMEOUT,
 )
-from repro.errors import InvalidArgument, IoError
+from repro.errors import InvalidArgument, IoError, PowerLossError
 from repro.faults import FaultPlan, FaultSpec, get_default_fault_spec
 from repro.kernel.extfs import ExtFs
+from repro.kernel.journal import JournalConfig
 from repro.kernel.layers import CostModel
 from repro.kernel.process import File, Process
 from repro.obs import events as obs_events
@@ -106,6 +108,13 @@ class KernelConfig:
     #: when a fault plan is present, leaving the fault-free fast path
     #: byte-identical to a build without this subsystem.
     retry: Optional[NvmeRetryPolicy] = None
+    #: Volatile write-cache depth (records) on the NVMe device.  0 keeps
+    #: the pre-crash-consistency write-through behaviour — and the
+    #: byte-identical traces that go with it.
+    write_cache_depth: int = 0
+    #: Metadata journal configuration; None runs the file system without
+    #: durability (crash recovery then being impossible, as before).
+    journal: Optional[JournalConfig] = None
 
 
 class ReadResult:
@@ -183,7 +192,10 @@ class Kernel:
                     else get_default_bus())
         self.device = NvmeDevice(sim, device_model, self.media,
                                  self.streams.stream("nvme"), trace=self.trace,
-                                 bus=self.bus)
+                                 bus=self.bus,
+                                 cache_depth=self.config.write_cache_depth)
+        self.media.bus = self.bus
+        self.media.clock = lambda: sim.now
         self.device.completion_handler = self._on_device_completion
         # --- fault plan + driver retry policy ----------------------------
         spec = (self.config.fault_plan if self.config.fault_plan is not None
@@ -206,10 +218,14 @@ class Kernel:
                    if self.config.scatter_allocations else None)
         self.fs = ExtFs(self.media,
                         max_extent_blocks=self.config.max_extent_blocks,
-                        scatter_rng=scatter)
+                        scatter_rng=scatter,
+                        journal_config=self.config.journal)
         self.fs.bus = self.bus
         self.fs.clock = lambda: sim.now
         self.fs.resolve_cost_ns = self.cost.filesystem_ns
+        if self.fs.journal is not None:
+            self.fs.journal.bus = self.bus
+            self.fs.journal.clock = lambda: sim.now
         self.model = device_model
         self._next_pid = 1
 
@@ -235,6 +251,8 @@ class Kernel:
         self.irq_count = 0
         self.nvme_retries = 0
         self.nvme_timeouts = 0
+        self.fsyncs = 0
+        self.recoveries = 0
 
     # ------------------------------------------------------------------
     # Process management
@@ -270,9 +288,34 @@ class Kernel:
             self._emit_syscall("open", proc.pid)
         if create and not self.fs.exists(path):
             inode = self.fs.create(path)
+            yield from self._maybe_sync_commit(0, "write")
         else:
             inode = self.fs.lookup(path)
         return proc.install_fd(File(inode, path=path))
+
+    def sys_unlink(self, proc: Process, path: str):
+        """Remove a file name (and free its blocks)."""
+        yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
+                                        self.cost.syscall_ns +
+                                        self.cost.filesystem_ns)
+        self.syscall_count += 1
+        if self.bus.enabled:
+            self._emit_syscall("unlink", proc.pid)
+        self.fs.unlink(path)
+        yield from self._maybe_sync_commit(0, "write")
+        return 0
+
+    def sys_rename(self, proc: Process, old_path: str, new_path: str):
+        """Atomically rename (the write-new-then-rename commit pattern)."""
+        yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
+                                        self.cost.syscall_ns +
+                                        self.cost.filesystem_ns)
+        self.syscall_count += 1
+        if self.bus.enabled:
+            self._emit_syscall("rename", proc.pid)
+        self.fs.rename(old_path, new_path)
+        yield from self._maybe_sync_commit(0, "write")
+        return 0
 
     def sys_close(self, proc: Process, fd: int):
         yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
@@ -304,6 +347,7 @@ class Kernel:
         if self.bus.enabled:
             self._emit_syscall("ftruncate", proc.pid)
         self.fs.truncate(proc.file(fd).inode, size)
+        yield from self._maybe_sync_commit(0, "write")
         return 0
 
     def sys_pread(self, proc: Process, fd: int, offset: int, length: int,
@@ -315,10 +359,16 @@ class Kernel:
         dispatched down the tagged path (the paper's NVMe-hook chain); the
         returned :class:`ReadResult` then reports chain status and hops.
         """
+        if length < 0:
+            raise InvalidArgument("read length must be >= 0")
         file = proc.file(fd)
         self.syscall_count += 1
         yield from self.cpus.run_thread(self.cost.kernel_crossing_ns +
                                         self.cost.syscall_ns)
+        if length == 0:
+            # POSIX pread: zero-length reads succeed with no data and
+            # never reach the device.
+            return ReadResult(b"", final_offset=offset)
 
         nvme_tagged = (tagged and self.tagged_read_handler is not None and
                        file.bpf_install is not None and
@@ -379,13 +429,20 @@ class Kernel:
         cost = self.cost
         yield from self.cpus.run_thread(cost.kernel_crossing_ns +
                                         cost.syscall_ns)
+        if not data:
+            return 0
         span = 0
         if self.bus.enabled:
             span = self.bus.span_start("sys_pwrite", self.sim.now,
                                        pid=proc.pid, path="write")
             self._emit_syscall("pwrite", proc.pid, path="write", span=span)
         yield from self.cpus.run_thread(cost.filesystem_ns)
-        self.fs.ensure_allocated(file.inode, offset, len(data))
+        # Allocation and the size update land in ONE journal transaction,
+        # so replay can never leave blocks mapped past EOF.
+        with self.fs.txn():
+            self.fs.ensure_allocated(file.inode, offset, len(data))
+            self.fs.set_size(file.inode,
+                             max(file.inode.size, offset + len(data)))
         segments = self.fs.map_range(file.inode, offset, len(data),
                                      span=span, path="write")
         yield from self.cpus.run_thread(cost.bio_ns)
@@ -418,16 +475,116 @@ class Kernel:
                 events.append(event)
             for event in events:
                 completed = yield event
+                if completed.status == STATUS_POWER_FAIL:
+                    raise PowerLossError(
+                        f"power lost during write at lba {completed.lba}")
                 if completed.status != 0:
                     raise IoError(f"media error at lba {completed.lba}")
+        yield from self._maybe_sync_commit(span, "write")
         yield from self.cpus.run_thread(cost.context_switch_ns)
         if self.bus.enabled:
             self.bus.emit(obs_events.CONTEXT_SWITCH, self.sim.now,
                           cpu_ns=cost.context_switch_ns, span=span,
                           path="write")
             self.bus.span_end(span, self.sim.now)
-        file.inode.size = max(file.inode.size, offset + len(data))
         return len(data)
+
+    def sys_fsync(self, proc: Process, fd: int):
+        """Make the file's data *and* metadata durable.
+
+        The crash-consistency contract: FLUSH the device's volatile write
+        cache first (data), then FUA-append every pending metadata
+        transaction to the journal.  A power cut between the two loses the
+        metadata txns but never commits metadata describing non-durable
+        data — ext4's ordered mode.
+        """
+        proc.file(fd)  # validate the descriptor
+        self.syscall_count += 1
+        self.fsyncs += 1
+        cost = self.cost
+        yield from self.cpus.run_thread(cost.kernel_crossing_ns +
+                                        cost.syscall_ns)
+        span = 0
+        if self.bus.enabled:
+            span = self.bus.span_start("sys_fsync", self.sim.now,
+                                       pid=proc.pid, path="write")
+            self._emit_syscall("fsync", proc.pid, path="write", span=span)
+        try:
+            yield from self._device_flush(span, "write")
+            journal = self.fs.journal
+            if journal is not None and journal.pending_txns:
+                yield from self._commit_journal(span, "write")
+            yield from self.cpus.run_thread(cost.context_switch_ns)
+            if self.bus.enabled:
+                self.bus.emit(obs_events.CONTEXT_SWITCH, self.sim.now,
+                              cpu_ns=cost.context_switch_ns, span=span,
+                              path="write")
+        finally:
+            if span:
+                self.bus.span_end(span, self.sim.now)
+        return 0
+
+    def _device_flush(self, span: int, path: str):
+        """Issue an NVMe FLUSH and wait for it (timed)."""
+        cost = self.cost
+        yield from self.cpus.run_thread(cost.nvme_driver_ns)
+        event = self.sim.event()
+        command = NvmeCommand("flush", 0, 0,
+                              cookie=IoCookie("irq", event=event))
+        if self.bus.enabled:
+            command.span = span
+            command.path = path
+            command.driver_ns = cost.nvme_driver_ns
+        self.device.submit(command)
+        completed = yield event
+        if completed.status == STATUS_POWER_FAIL:
+            raise PowerLossError("power lost during flush")
+        if completed.status != 0:
+            raise IoError("flush failed")
+
+    def _commit_journal(self, span: int, path: str):
+        """FUA-write every pending journal txn frame, in order (timed)."""
+        journal = self.fs.journal
+        cost = self.cost
+        yield from self.cpus.run_thread(cost.filesystem_ns)
+        if journal.checkpoint_due() or not journal.fits_pending():
+            # Untimed maintenance, the kjournald/background-writeback
+            # analogue: serialise metadata, truncate + TRIM the log.
+            # Pending txns are absorbed by the checkpoint.
+            self.fs.checkpoint_sync()
+        if not journal.pending_txns:
+            return
+        frames = journal.encode_pending()
+        for lba, frame in frames:
+            yield from self.cpus.run_thread(cost.nvme_driver_ns)
+            event = self.sim.event()
+            command = NvmeCommand("write", lba, len(frame) // 512,
+                                  data=frame, fua=True, source="journal",
+                                  cookie=IoCookie("irq", event=event))
+            if self.bus.enabled:
+                command.span = span
+                command.path = path
+                command.driver_ns = cost.nvme_driver_ns
+            self.device.submit(command)
+            completed = yield event
+            if completed.status == STATUS_POWER_FAIL:
+                raise PowerLossError("power lost during journal commit")
+            if completed.status != 0:
+                raise IoError(f"journal write failed at lba {completed.lba}")
+        journal.note_committed(frames)
+
+    def _maybe_sync_commit(self, span: int, path: str):
+        """In ``sync_commit`` journal mode, commit at the op boundary.
+
+        Meant for write-through devices (cache depth 0), where the data a
+        txn describes is already durable when the op completes — making
+        every completed operation crash-proof.
+        """
+        journal = self.fs.journal
+        if journal is None or not journal.config.sync_commit or \
+                not journal.pending_txns:
+            return
+        yield from self._commit_journal(span, path)
 
     # ------------------------------------------------------------------
     # Data path internals (also used by repro.core)
@@ -476,6 +633,11 @@ class Kernel:
             completed = yield event
             if completed.status == 0:
                 return completed
+            if completed.status == STATUS_POWER_FAIL:
+                # Not a media error: the device is gone, retrying is
+                # pointless.
+                raise PowerLossError(
+                    f"power lost during {opcode} at lba {lba}")
             reason = ("timeout" if completed.status == STATUS_TIMEOUT
                       else "media")
             if completed.status == STATUS_TIMEOUT:
@@ -641,3 +803,32 @@ class Kernel:
     def run_syscall(self, generator) -> Any:
         """Run one syscall generator to completion (drives the simulator)."""
         return self.sim.run_process(generator)
+
+    # ------------------------------------------------------------------
+    # Crash / recovery lifecycle
+    # ------------------------------------------------------------------
+
+    def crash(self, tear: bool = False) -> Dict[str, int]:
+        """Cut power immediately (outside any fault plan).
+
+        Drops the device's volatile write cache — optionally tearing the
+        oldest un-flushed multi-sector write — and powers the device off;
+        every subsequent submission raises
+        :class:`~repro.errors.PowerLossError` until :meth:`recover`.
+        """
+        rng = (self.fault_plan.power_rng if self.fault_plan is not None
+               else self.streams.stream("power"))
+        return self.device.power_loss(rng=rng, tear=tear)
+
+    def recover(self):
+        """Power the device back on and mount: rebuild the file system
+        purely from media via journal replay, then notify derived caches
+        (dropping every NVMe-layer extent-cache snapshot, so BPF chains
+        must take the EEXTENT reinstall path).  Returns the
+        :class:`~repro.kernel.recovery.RecoveryReport`.
+        """
+        from repro.kernel.recovery import reload_fs
+        self.device.power_on()
+        report = reload_fs(self.fs)
+        self.recoveries += 1
+        return report

@@ -69,6 +69,22 @@ event type                emitted by / meaning
                           ``pid``, ``hops``, ``offset``, ``reason``.
 ``span_start``            a span opened; ``span``, ``parent``, ``name``.
 ``span_end``              a span closed; ``span`` plus result attributes.
+``nvme_flush``            the device drained its volatile write cache;
+                          ``records`` (destaged cache records).
+``power_loss``            the simulated power cut: ``dropped`` (volatile
+                          records lost), ``torn_sectors``/``torn_lba``
+                          (partial persistence of one in-flight write),
+                          ``flushes`` (completed flushes at the cut).
+``blockdev_discard``      media TRIM (journal checkpoint, punch_range);
+                          ``lba``, ``sectors``.
+``journal_commit``        metadata txns became durable; ``txns``,
+                          ``frames``, ``bytes``, ``seq`` (last committed).
+``journal_replay``        recovery scanned the journal; ``replayed``,
+                          ``discarded`` (torn/uncommitted txns), ``seq``.
+``journal_checkpoint``    metadata serialised + journal truncated;
+                          ``seq``, ``bytes``, ``trimmed_sectors``.
+``fsck_report``           the invariant checker ran; ``checks``,
+                          ``violations``.
 ========================  =====================================================
 """
 
@@ -80,6 +96,7 @@ __all__ = [
     "APP_PROCESS",
     "BIO_SPLIT",
     "BIO_SUBMIT",
+    "BLOCKDEV_DISCARD",
     "BPF_HELPER_TRACE",
     "BPF_HOOK_DISPATCH",
     "CHAIN_COMPLETE",
@@ -94,12 +111,18 @@ __all__ = [
     "EXTENT_CACHE_SPLIT",
     "EXTENT_CHANGE",
     "FAULT_INJECT",
+    "FSCK_REPORT",
     "FS_RESOLVE",
     "IRQ_ENTRY",
+    "JOURNAL_CHECKPOINT",
+    "JOURNAL_COMMIT",
+    "JOURNAL_REPLAY",
     "NVME_COMPLETE",
+    "NVME_FLUSH",
     "NVME_RETRY",
     "NVME_SUBMIT",
     "NVME_TIMEOUT",
+    "POWER_LOSS",
     "RESUBMIT_DRAIN",
     "SPAN_END",
     "SPAN_START",
@@ -134,6 +157,13 @@ NVME_RETRY = "nvme_retry"
 CHAIN_FALLBACK = "chain_fallback"
 SPAN_START = "span_start"
 SPAN_END = "span_end"
+NVME_FLUSH = "nvme_flush"
+POWER_LOSS = "power_loss"
+BLOCKDEV_DISCARD = "blockdev_discard"
+JOURNAL_COMMIT = "journal_commit"
+JOURNAL_REPLAY = "journal_replay"
+JOURNAL_CHECKPOINT = "journal_checkpoint"
+FSCK_REPORT = "fsck_report"
 
 
 class TraceEvent:

@@ -469,3 +469,37 @@ def test_metrics_reconcile_with_plan_counters():
     # Device-level books agree with the plan's.
     assert kernel.device.media_errors == plan.injected[FAULT_TRANSIENT]
     assert kernel.device.timeouts >= plan.injected[FAULT_TIMEOUT]
+
+
+def run_power_loss_workload():
+    """The mixed metadata workload cut at its third fsync, then recovered."""
+    from repro.faults.crashpoints import _build_machine, _run_ops, \
+        mixed_workload
+    from repro.kernel import JournalConfig, fsck
+
+    spec = FaultSpec(seed=13, power_loss_after_flushes=3, torn_write=1)
+    kernel = _build_machine(seed=5, cache_depth=8,
+                            journal=JournalConfig(journal_blocks=32),
+                            spec=spec, capacity_sectors=1 << 18)
+    run = _run_ops(kernel, mixed_workload(5), seed=5)
+    assert run.crashed
+    kernel.recover()
+    assert fsck(kernel.fs).ok
+    return kernel
+
+
+def test_same_seed_same_power_loss_identical_recovery(tmp_path):
+    """Same seed + same power-loss plan: the recovered media image and
+    the exported trace are byte-identical across runs."""
+    images, paths = [], []
+    for run in range(2):
+        path = tmp_path / f"crash-trace-{run}.jsonl"
+        with ObsSession(record_jsonl=True) as obs:
+            kernel = run_power_loss_workload()
+        obs.write_trace_jsonl(str(path))
+        paths.append(path)
+        images.append(kernel.fs.media.image())
+    assert images[0] == images[1]
+    first, second = (p.read_bytes() for p in paths)
+    assert first == second
+    assert len(first) > 0
