@@ -1,0 +1,81 @@
+"""Multi-queue scaling: aggregate chain IOPS vs NVMe SQ/CQ pairs.
+
+Closed-loop workers run NVMe-hook B-tree chains against a deep gen-2
+Optane model while the kernel sweeps the number of submission/completion
+queue pairs.  Completion interrupts are steered per core (queue ``q``
+fires on core ``q % cores``), so a single pair funnels every hop's IRQ +
+BPF + resubmission work through one core.  The expectation is the
+paper's multi-queue shape: aggregate IOPS grows strictly from 1 to 4
+pairs as completion work spreads across cores, stays roughly balanced
+across pairs, and flattens once the lanes stop being the bottleneck.
+
+Runnable directly for the CI smoke test::
+
+    PYTHONPATH=src python benchmarks/bench_mq_scaling.py --smoke
+"""
+
+import argparse
+import sys
+
+from repro.bench import format_table, mq_scaling
+
+COLUMNS = ["threads", "queue_pairs", "klookups", "kiops",
+           "speedup_vs_1q", "busiest_q_pct"]
+
+FULL = {"queue_pairs": (1, 2, 4, 8), "threads": (24, 32),
+        "duration_ns": 2_000_000}
+SMOKE = {"queue_pairs": (1, 2, 4), "threads": (24,),
+         "duration_ns": 1_000_000}
+
+
+def check_shape(rows):
+    """The scaling invariants any run must satisfy."""
+    groups = {}
+    for row in rows:
+        groups.setdefault(row["threads"], []).append(row)
+    for threads, group in groups.items():
+        by_pairs = {row["queue_pairs"]: row for row in group}
+        # One pair concentrates every completion on one queue.
+        assert by_pairs[1]["busiest_q_pct"] == 100.0
+        # Aggregate IOPS strictly increases from 1 to 4 pairs.
+        swept = [pairs for pairs in (1, 2, 4) if pairs in by_pairs]
+        for low, high in zip(swept, swept[1:]):
+            assert by_pairs[high]["kiops"] > by_pairs[low]["kiops"], (
+                f"threads={threads}: {high} pairs not faster than {low}")
+        # Steering spreads completions: no pair hogs the device.
+        for pairs, row in by_pairs.items():
+            if pairs > 1:
+                assert row["busiest_q_pct"] < 150.0 / pairs
+        # Spreading IRQ work over 4 cores buys a real speedup.
+        if 4 in by_pairs:
+            assert by_pairs[4]["speedup_vs_1q"] >= 1.2
+
+
+def test_mq_scaling(benchmark):
+    rows = benchmark.pedantic(mq_scaling, kwargs=FULL,
+                              rounds=1, iterations=1)
+    print()
+    print(format_table("Multi-queue NVMe — IOPS vs SQ/CQ pairs",
+                       COLUMNS, rows))
+    check_shape(rows)
+    best = max(rows, key=lambda row: row["kiops"])
+    benchmark.extra_info["best_kiops"] = round(best["kiops"], 1)
+    benchmark.extra_info["best_queue_pairs"] = best["queue_pairs"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", "--quick", action="store_true",
+                        dest="smoke",
+                        help="miniature sweep for CI smoke testing")
+    args = parser.parse_args(argv)
+    rows = mq_scaling(**(SMOKE if args.smoke else FULL))
+    print(format_table("Multi-queue NVMe — IOPS vs SQ/CQ pairs",
+                       COLUMNS, rows))
+    check_shape(rows)
+    print("shape OK: IOPS strictly increasing 1->4 pairs, queues balanced")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,8 @@
   (3a/3b), ``fig3c_latency``, ``fig3d_iouring``, ``extent_stability``
   (§4's YCSB measurement), ``fault_resilience`` (availability under an
   injected fault plan), ``crash_consistency`` (crash-point enumeration
-  with recovery verification), and the ablations.
+  with recovery verification), ``mq_scaling`` (aggregate IOPS vs NVMe
+  SQ/CQ pairs with per-core IRQ steering), and the ablations.
 
 Each experiment returns plain row dictionaries so the ``benchmarks/``
 pytest files, ``EXPERIMENTS.md``, and tests all consume the same data.
@@ -27,6 +28,7 @@ from repro.bench.experiments import (
     fig3_throughput,
     fig3c_latency,
     fig3d_iouring,
+    mq_scaling,
     table1_breakdown,
 )
 from repro.bench.runner import BtreeBench, run_closed_loop
@@ -47,6 +49,7 @@ __all__ = [
     "fig3d_iouring",
     "format_table",
     "interference",
+    "mq_scaling",
     "rows_to_json",
     "run_closed_loop",
     "table1_breakdown",

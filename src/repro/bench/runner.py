@@ -76,13 +76,16 @@ class BtreeBench:
                  model: LatencyModel = NVM2_BENCH,
                  cost_model: Optional[CostModel] = None,
                  fanout: Optional[int] = None, jit: bool = True,
-                 max_chain_hops: int = 64):
+                 max_chain_hops: int = 64, queue_pairs: int = 1,
+                 irq_steering: Optional[bool] = None):
         self.depth = depth
         self.fanout = fanout or choose_fanout(depth)
         num_keys = BTree.keys_for_depth(depth, self.fanout)
         self.sim = Simulator()
         config = KernelConfig(cores=cores, seed=seed,
-                              cost_model=cost_model or CostModel())
+                              cost_model=cost_model or CostModel(),
+                              queue_pairs=queue_pairs,
+                              irq_steering=irq_steering)
         self.kernel = Kernel(self.sim, model, config)
         self.bpf = StorageBpf(self.kernel, max_chain_hops=max_chain_hops)
         self.jit = jit

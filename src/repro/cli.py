@@ -6,7 +6,9 @@ Commands:
   table (``--quick`` runs miniature versions in a few seconds).
 * ``experiment <name>`` — run one experiment (fig1, table1, fig3a, fig3b,
   fig3c, fig3d, stability, bound, churn, vmmode, appcache, interference,
-  resilience, crash).
+  resilience, crash, scale).  An experiment name may also be used as the
+  top-level command (``python -m repro scale --json`` is shorthand for
+  ``python -m repro experiment scale --json``).
   ``--json`` prints the rows as JSON instead of a table; ``--trace-jsonl
   PATH`` additionally records the full tracepoint stream to ``PATH``;
   ``--fault-plan SPEC`` arms a deterministic fault plan (see
@@ -44,6 +46,7 @@ from repro.bench import (
     fig3d_iouring,
     format_table,
     interference,
+    mq_scaling,
     rows_to_json,
     table1_breakdown,
 )
@@ -123,6 +126,11 @@ _EXPERIMENTS = {
               lambda quick: crash_consistency(
                   modes=("flush", "op-torn") if quick
                   else ("flush", "op", "op-torn", "sync"))),
+    "scale": ("Multi-queue NVMe — IOPS vs SQ/CQ pairs (IRQ steering)",
+              lambda quick: mq_scaling(
+                  queue_pairs=(1, 2, 4) if quick else (1, 2, 4, 8),
+                  threads=(24,) if quick else (24, 32),
+                  duration_ns=1_000_000 if quick else 2_000_000)),
 }
 
 _CRASH_MODES = ("flush", "op", "op-torn", "sync")
@@ -330,6 +338,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Experiment-name shorthand: ``python -m repro scale --json`` runs
+    # ``python -m repro experiment scale --json``.
+    if argv and argv[0] in _EXPERIMENTS:
+        argv = ["experiment"] + list(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -16,14 +16,18 @@ This package implements §4 of the paper on top of the simulated kernel:
   command, the syscall-dispatch hook, split-I/O fallback.
 * :mod:`~repro.core.api` — :class:`~repro.core.api.StorageBpf`, the
   user-facing facade ("the library" of §4).
+* :mod:`~repro.core.handle` — :class:`~repro.core.handle.ChainHandle`,
+  the first-class handle returned by ``StorageBpf.open_chain`` owning
+  fd + installation with read/read_robust/refresh/close methods.
 * :mod:`~repro.core.library` — prebuilt, verified programs for common
   on-disk structures (B-tree lookup, linked blocks, SSTable search, scan
   filters) plus user-space equivalents for the fallback path.
 """
 
 from repro.core.accounting import ChainAccounting
-from repro.core.api import StorageBpf
+from repro.core.api import InstallRequest, StorageBpf
 from repro.core.extent_cache import NvmeExtentCache
+from repro.core.handle import ChainHandle
 from repro.core.hooks import (
     ACTION_RESUBMIT,
     ACTION_RETURN_BUFFER,
@@ -40,7 +44,9 @@ __all__ = [
     "ACTION_RETURN_VALUE",
     "BpfInstallation",
     "ChainAccounting",
+    "ChainHandle",
     "Hook",
+    "InstallRequest",
     "NvmeExtentCache",
     "StorageBpf",
     "storage_ctx_layout",

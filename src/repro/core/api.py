@@ -18,6 +18,7 @@ a simulated thread.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, Optional, Tuple
 
 from repro.ebpf.maps import BpfMap
@@ -37,6 +38,7 @@ from repro.core.hooks import (
     Hook,
     storage_helpers,
 )
+from repro.core.handle import ChainHandle
 from repro.core.install import (
     IOCTL_INSTALL_BPF,
     IOCTL_REFRESH_EXTENTS,
@@ -48,21 +50,42 @@ from repro.obs import events as obs_events
 __all__ = ["InstallRequest", "StorageBpf"]
 
 
+@dataclasses.dataclass(frozen=True)
 class InstallRequest:
-    """The argument struct handed to the install ioctl."""
+    """The argument struct handed to the install ioctl.
 
-    def __init__(self, program: Program, hook: Hook = Hook.NVME,
-                 block_size: int = 4096, scratch_size: int = 256,
-                 args: Tuple[int, ...] = (),
-                 maps: Optional[Dict[int, BpfMap]] = None,
-                 jit: bool = True):
-        self.program = program
-        self.hook = hook
-        self.block_size = block_size
-        self.scratch_size = scratch_size
-        self.args = args
-        self.maps = dict(maps or {})
-        self.jit = jit
+    Frozen: a request is a value handed across the syscall boundary, so
+    mutating it after submission would be meaningless.  Construction
+    validates the fields the kernel would reject anyway and raises
+    :class:`InvalidArgument` naming the offending field, so callers fail
+    at the call site rather than deep inside the ioctl handler.
+    """
+
+    program: Program
+    hook: Hook = Hook.NVME
+    block_size: int = 4096
+    scratch_size: int = 256
+    args: Tuple[int, ...] = ()
+    maps: Optional[Dict[int, BpfMap]] = None
+    jit: bool = True
+
+    def __post_init__(self):
+        if not isinstance(self.program, Program):
+            raise InvalidArgument("program: expected a Program, got "
+                                  f"{type(self.program).__name__}")
+        if not isinstance(self.hook, Hook):
+            raise InvalidArgument(f"hook: unknown hook {self.hook!r}")
+        if self.block_size <= 0:
+            raise InvalidArgument(
+                f"block_size: must be positive, got {self.block_size}")
+        if self.scratch_size <= 0:
+            raise InvalidArgument(
+                f"scratch_size: must be positive, got {self.scratch_size}")
+        object.__setattr__(self, "args", tuple(self.args))
+        if len(self.args) > 4:
+            raise InvalidArgument(
+                f"args: at most 4 install args, got {len(self.args)}")
+        object.__setattr__(self, "maps", dict(self.maps or {}))
 
 
 class StorageBpf:
@@ -143,14 +166,42 @@ class StorageBpf:
                 hook: Hook = Hook.NVME, block_size: int = 4096,
                 scratch_size: int = 256, args: Tuple[int, ...] = (),
                 maps: Optional[Dict[int, BpfMap]] = None, jit: bool = True):
-        """Install a program on ``fd`` via the special ioctl."""
-        if len(args) > 4:
-            raise InvalidArgument("at most 4 install args")
-        request = InstallRequest(program, hook, block_size, scratch_size,
-                                 args, maps, jit)
+        """Install a program on ``fd`` via the special ioctl.
+
+        Field validation (positive sizes, at most four args) happens in
+        :class:`InstallRequest`, which raises :class:`InvalidArgument`
+        naming the offending field.
+        """
+        request = InstallRequest(program, hook=hook, block_size=block_size,
+                                 scratch_size=scratch_size, args=args,
+                                 maps=maps, jit=jit)
         result = yield from self.kernel.sys_ioctl(proc, fd,
                                                   IOCTL_INSTALL_BPF, request)
         return result
+
+    def open_chain(self, proc: Process, path: str, program: Program,
+                   hook: Hook = Hook.NVME, block_size: int = 4096,
+                   scratch_size: int = 256, args: Tuple[int, ...] = (),
+                   maps: Optional[Dict[int, BpfMap]] = None,
+                   jit: bool = True, create: bool = False):
+        """Open ``path`` and install ``program`` in one step.
+
+        Generator returning a :class:`~repro.core.handle.ChainHandle`
+        that owns the descriptor and the installation; use it as a
+        context manager (or call its ``close`` generator) to tear both
+        down.  If the install ioctl fails, the freshly opened fd is
+        released before the error propagates, so no descriptor leaks.
+        """
+        fd = yield from self.kernel.sys_open(proc, path, create=create)
+        try:
+            yield from self.install(proc, fd, program, hook=hook,
+                                    block_size=block_size,
+                                    scratch_size=scratch_size, args=args,
+                                    maps=maps, jit=jit)
+        except Exception:
+            proc.close_fd(fd)
+            raise
+        return ChainHandle(self, proc, fd)
 
     def refresh(self, proc: Process, fd: int):
         result = yield from self.kernel.sys_ioctl(proc, fd,

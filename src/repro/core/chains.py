@@ -63,7 +63,8 @@ class ChainState:
     """Mutable state of one in-flight chain."""
 
     __slots__ = ("proc", "file", "install", "offset", "length", "scratch",
-                 "args", "hops", "attempts", "deliver", "done", "span")
+                 "args", "hops", "attempts", "deliver", "done", "span",
+                 "queue")
 
     def __init__(self, proc: Process, file: File, install: BpfInstallation,
                  offset: int, length: int, args: Tuple[int, ...],
@@ -84,6 +85,10 @@ class ChainState:
         self.done = False
         #: Root span id of this chain (0 when tracing is disabled).
         self.span = 0
+        #: NVMe queue pair the chain was started on.  Every resubmitted
+        #: hop reuses it, so the whole chain's completion work stays on
+        #: the core owning that pair (never crossing the CpuSet).
+        self.queue = 0
 
     def finish(self, result: ReadResult) -> None:
         if self.done:
@@ -179,6 +184,8 @@ class ChainEngine:
         state = ChainState(proc, file, install, offset, length, full_args,
                            scratch_init, deliver=waiter.succeed)
         state.span = span
+        queue = kernel.queue_for(proc)
+        state.queue = queue
 
         if len(segments) > 1:
             # First hop already spans discontiguous extents: do it as a
@@ -192,7 +199,8 @@ class ChainEngine:
                 if kernel.retry_enabled:
                     try:
                         completed = yield from kernel._nvme_rw_retry(
-                            "read", lba, sectors, None, span, "chain")
+                            "read", lba, sectors, None, span, "chain",
+                            queue=queue)
                     except IoError:
                         failed = True
                         break
@@ -200,7 +208,8 @@ class ChainEngine:
                     yield from kernel.cpus.run_thread(cost.nvme_driver_ns)
                     event = kernel.sim.event()
                     command = NvmeCommand("read", lba, sectors,
-                                          cookie=IoCookie("irq", event=event))
+                                          cookie=IoCookie("irq", event=event),
+                                          queue=queue)
                     if bus.enabled:
                         command.span = span
                         command.path = "chain"
@@ -228,7 +237,8 @@ class ChainEngine:
 
         lba, sectors = segments[0]
         command = NvmeCommand("read", lba, sectors,
-                              cookie=IoCookie("chain", chain=state))
+                              cookie=IoCookie("chain", chain=state),
+                              queue=queue)
         if bus.enabled:
             command.span = span
             command.path = "chain"
@@ -284,6 +294,8 @@ class ChainEngine:
         state = ChainState(proc, file, install, sqe.offset, sqe.length,
                            full_args, sqe.scratch_init, deliver=deliver)
         state.span = span
+        queue = kernel.queue_for(proc)
+        state.queue = queue
 
         if len(segments) > 1:
             # Split first hop: complete as a normal read with fallback status.
@@ -296,7 +308,8 @@ class ChainEngine:
                 event = kernel.sim.event()
                 event.add_callback(collector.segment_done)
                 command = NvmeCommand("read", lba, sectors,
-                                      cookie=IoCookie("irq", event=event))
+                                      cookie=IoCookie("irq", event=event),
+                                      queue=queue)
                 if bus.enabled:
                     command.span = span
                     command.path = "chain"
@@ -307,7 +320,8 @@ class ChainEngine:
 
         lba, sectors = segments[0]
         command = NvmeCommand("read", lba, sectors,
-                              cookie=IoCookie("chain", chain=state))
+                              cookie=IoCookie("chain", chain=state),
+                              queue=queue)
         if bus.enabled:
             command.span = span
             command.path = "chain"
@@ -327,6 +341,7 @@ class ChainEngine:
         install = state.install
         state.hops += 1
         kernel.irq_count += 1
+        queue = state.queue
         hop_span = 0
         if bus.enabled:
             hop_span = bus.span_start("chain_hop", kernel.sim.now,
@@ -336,7 +351,7 @@ class ChainEngine:
                      offset=state.offset, pid=state.proc.pid,
                      span=hop_span, parent=state.span, path="chain")
         try:
-            yield from kernel.cpus.run_irq(cost.irq_entry_ns)
+            yield from kernel.run_irq(cost.irq_entry_ns, queue)
             if bus.enabled:
                 bus.emit(obs_events.IRQ_ENTRY, kernel.sim.now,
                          cpu_ns=cost.irq_entry_ns, span=hop_span,
@@ -378,7 +393,7 @@ class ChainEngine:
 
             outputs, instructions = self._run_program(state, command.data)
             bpf_ns = cost.bpf_run_ns(instructions, install.jit)
-            yield from kernel.cpus.run_irq(bpf_ns)
+            yield from kernel.run_irq(bpf_ns, queue)
             action = outputs["action"]
             if bus.enabled:
                 bus.emit(obs_events.BPF_HOOK_DISPATCH, kernel.sim.now,
@@ -421,7 +436,7 @@ class ChainEngine:
                     # buffer to the application, which runs the function
                     # itself and restarts the chain at the next hop.
                     self.split_fallbacks += 1
-                    yield from kernel.cpus.run_irq(cost.bio_ns)
+                    yield from kernel.run_irq(cost.bio_ns, queue)
                     segments = kernel.fs.map_range(state.file.inode,
                                                    next_offset, state.length,
                                                    span=hop_span,
@@ -437,12 +452,13 @@ class ChainEngine:
                     state.offset = next_offset
                     finisher = _SplitReadFinisher(state, len(segments))
                     for lba, sectors in segments:
-                        yield from kernel.cpus.run_irq(cost.nvme_driver_ns)
+                        yield from kernel.run_irq(cost.nvme_driver_ns, queue)
                         event = kernel.sim.event()
                         event.add_callback(finisher.segment_done)
                         split_cmd = NvmeCommand(
                             "read", lba, sectors,
-                            cookie=IoCookie("irq", event=event))
+                            cookie=IoCookie("irq", event=event),
+                            queue=queue)
                         if bus.enabled:
                             split_cmd.span = hop_span
                             split_cmd.path = "chain"
@@ -452,6 +468,10 @@ class ChainEngine:
                 self.accounting.charge(state.proc.pid)
                 install.resubmissions += 1
                 state.offset = next_offset
+                # retarget() preserves command.queue, so the recycled hop
+                # goes back out on the pair it arrived on and its next
+                # completion fires on the same core's vector (core-local,
+                # never crossing the CpuSet contention point).
                 command.retarget(translation.lba, translation.sectors)
                 command.source = "bpf-recycle"
                 # The recycled command belongs to this hop's span: the next
@@ -460,7 +480,7 @@ class ChainEngine:
                 if bus.enabled:
                     command.span = hop_span
                     command.driver_ns = cost.nvme_driver_ns
-                yield from kernel.cpus.run_irq(cost.nvme_driver_ns)
+                yield from kernel.run_irq(cost.nvme_driver_ns, queue)
                 kernel.device.submit(command)
                 return
 
@@ -527,7 +547,7 @@ class ChainEngine:
             if bus.enabled:
                 command.span = hop_span
                 command.driver_ns = cost.nvme_driver_ns
-            yield from kernel.cpus.run_irq(cost.nvme_driver_ns)
+            yield from kernel.run_irq(cost.nvme_driver_ns, state.queue)
             kernel.device.submit(command)
             return
         # Budget exhausted: degrade to user space with the continuation

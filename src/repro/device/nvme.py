@@ -1,18 +1,26 @@
-"""The NVMe device model: queues, bounded parallelism, interrupt delivery.
+"""The NVMe device model: queue pairs, bounded parallelism, interrupts.
 
-The device pulls commands from its submission queue into up to
-``model.parallelism`` concurrent service slots (this bound is what gives the
-device an IOPS ceiling), spends the sampled media latency, moves the data,
-and then raises a *completion interrupt* by invoking the handler the NVMe
-driver registered.  Everything after that point — interrupt CPU cost, the
-BPF completion hook, walking the completion back up the stack — belongs to
-the kernel layers, not the device.
+The device exposes ``queues`` submission/completion queue pairs (per-core
+queue pairs are how real NVMe scales past a single dispatcher).  Each pair
+pulls commands from its own submission queue into service slots; all pairs
+share the device's internal bandwidth — at most ``model.parallelism``
+commands are in media service at once, regardless of how many queues they
+arrived on.  A serviced command spends the sampled media latency, moves the
+data, and then raises a *completion interrupt* on its queue pair by
+invoking the handler the NVMe driver registered.  Everything after that
+point — interrupt CPU cost, the BPF completion hook, walking the completion
+back up the stack — belongs to the kernel layers, not the device.
+
+With ``queues=1`` (the default) the device runs the original single-pair
+code path: no bandwidth arbitration resource exists and the service loops
+consume the one queue directly, keeping event streams and RNG draw order
+byte-identical to builds that predate multi-queue.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.errors import InvalidArgument, IoError, PowerLossError
 from repro.device.blockdev import SECTOR_SIZE, BlockDevice
@@ -21,7 +29,7 @@ from repro.device.trace import IoTrace, TraceEntry
 from repro.device.writecache import WriteCache
 from repro.obs import events as obs_events
 from repro.obs.bus import NULL_BUS, TraceBus
-from repro.sim import Simulator, Store
+from repro.sim import Resource, Simulator, Store
 
 __all__ = ["NvmeCommand", "NvmeDevice", "STATUS_MEDIA_ERROR", "STATUS_OK",
            "STATUS_POWER_FAIL", "STATUS_TIMEOUT"]
@@ -48,11 +56,11 @@ class NvmeCommand:
 
     __slots__ = ("opcode", "lba", "sectors", "data", "cookie", "source",
                  "submit_ns", "complete_ns", "status", "span", "path",
-                 "driver_ns", "fua")
+                 "driver_ns", "fua", "queue")
 
     def __init__(self, opcode: str, lba: int, sectors: int,
                  data: Optional[bytes] = None, cookie: Any = None,
-                 source: str = "bio", fua: bool = False):
+                 source: str = "bio", fua: bool = False, queue: int = 0):
         if opcode not in ("read", "write", "flush"):
             raise InvalidArgument(f"bad NVMe opcode {opcode!r}")
         if opcode == "write" and data is None:
@@ -74,6 +82,10 @@ class NvmeCommand:
         #: is durable at completion (how the journal commits without a
         #: full cache drain).
         self.fua = fua
+        #: Queue pair this command is posted to.  Like ``span``/``path``
+        #: it survives :meth:`retarget`, so a chain's recycled hops stay
+        #: on the queue (and therefore the CPU core) they started on.
+        self.queue = queue
         self.submit_ns = -1
         self.complete_ns = -1
         self.status = 0
@@ -88,9 +100,10 @@ class NvmeCommand:
 
         Clears everything the previous service stamped — payload, status,
         and the submit/complete/driver timings — so traces and events for
-        the new hop cannot carry the previous hop's attribution.  ``span``
-        and ``path`` are caller-owned context and are left for the caller
-        to reassign.
+        the new hop cannot carry the previous hop's attribution.  ``span``,
+        ``path``, and ``queue`` are caller-owned context and are left for
+        the caller to reassign (keeping ``queue`` is what pins a chain's
+        recycled hops to their originating queue pair).
         """
         self.lba = lba
         self.sectors = sectors
@@ -106,25 +119,40 @@ class NvmeCommand:
 
 
 class NvmeDevice:
-    """Submission queue + parallel service slots + completion interrupts."""
+    """Queue pairs + shared parallel service bandwidth + completion IRQs."""
 
     def __init__(self, sim: Simulator, model: LatencyModel,
                  media: BlockDevice, rng: random.Random,
                  trace: Optional[IoTrace] = None,
                  bus: Optional[TraceBus] = None,
-                 cache_depth: int = 0):
+                 cache_depth: int = 0, queues: int = 1):
+        if queues < 1:
+            raise InvalidArgument(f"need at least one queue pair, got {queues}")
         self.sim = sim
         self.model = model
         self.media = media
         self.rng = rng
         self.trace = trace if trace is not None else IoTrace(enabled=False)
         self.bus = bus if bus is not None else NULL_BUS
-        self.submission_queue: Store = Store(sim, name="nvme-sq")
+        self.queues = queues
+        self.submission_queues: List[Store] = [
+            Store(sim, name="nvme-sq" if index == 0 else f"nvme-sq{index}")
+            for index in range(queues)]
+        #: The device's internal media bandwidth, shared by every queue
+        #: pair: at most ``model.parallelism`` commands in service at once.
+        #: Only materialised for multi-queue devices — a single pair is
+        #: bounded by its own service loops exactly as before, so the
+        #: ``queues=1`` event stream stays byte-identical.
+        self.bandwidth: Optional[Resource] = (
+            Resource(sim, model.parallelism, name="nvme-bandwidth")
+            if queues > 1 else None)
         #: Registered by the NVMe driver; invoked once per completion at the
         #: simulated completion instant.
         self.completion_handler: Optional[Callable[[NvmeCommand], None]] = None
         self.in_flight = 0
         self.completed = 0
+        self.queue_in_flight: List[int] = [0] * queues
+        self.queue_completed: List[int] = [0] * queues
         self.media_errors = 0
         self.timeouts = 0
         #: Volatile write cache; depth 0 keeps the device write-through
@@ -147,8 +175,20 @@ class NvmeDevice:
         #: Fault injection: commands touching these LBAs complete with a
         #: non-zero status (media error) instead of moving data.
         self._failing_lbas: set = set()
-        for slot in range(model.parallelism):
-            sim.spawn(self._service_loop(), name=f"nvme-slot-{slot}")
+        # One pair: parallelism service loops on the single queue (the
+        # historical layout).  Multi-queue: every pair gets its own full
+        # complement of loops so any one queue can use the whole device,
+        # with the shared bandwidth resource enforcing the global bound.
+        for queue in range(queues):
+            for slot in range(model.parallelism):
+                sim.spawn(self._service_loop(queue),
+                          name=(f"nvme-slot-{slot}" if queues == 1
+                                else f"nvme-q{queue}-slot-{slot}"))
+
+    @property
+    def submission_queue(self) -> Store:
+        """The first (and, pre-multi-queue, only) submission queue."""
+        return self.submission_queues[0]
 
     # -- fault injection -----------------------------------------------------
 
@@ -176,23 +216,35 @@ class NvmeDevice:
             raise IoError(
                 f"stale NVMe descriptor resubmitted without retarget: "
                 f"{command!r}")
+        queue = command.queue % self.queues
+        command.queue = queue
         command.submit_ns = self.sim.now
         self.in_flight += 1
+        self.queue_in_flight[queue] += 1
         if self.bus.enabled:
             self.bus.emit(obs_events.NVME_SUBMIT, self.sim.now,
                           opcode=command.opcode, lba=command.lba,
                           sectors=command.sectors, source=command.source,
                           driver_ns=command.driver_ns, span=command.span,
-                          path=command.path, queue_depth=self.in_flight)
-        self.submission_queue.put(command)
+                          path=command.path, queue_depth=self.in_flight,
+                          queue=queue)
+        self.submission_queues[queue].put(command)
 
     @property
     def queue_depth(self) -> int:
         return self.in_flight
 
-    def _service_loop(self):
+    def _service_loop(self, queue: int = 0):
+        sq = self.submission_queues[queue]
         while True:
-            command = yield self.submission_queue.get()
+            command = yield sq.get()
+            grant = None
+            if self.bandwidth is not None:
+                # Multi-queue: admission to media is arbitrated across all
+                # queue pairs; this pair's command waits for one of the
+                # device's shared service units.
+                grant = self.bandwidth.request()
+                yield grant
             if command.opcode == "read":
                 latency = self.model.sample_read(self.rng)
             elif command.opcode == "flush":
@@ -237,9 +289,13 @@ class NvmeDevice:
                 self.media_errors += 1
             else:
                 self._do_media(command)
+            if grant is not None:
+                self.bandwidth.release(grant)
             command.complete_ns = self.sim.now
             self.in_flight -= 1
             self.completed += 1
+            self.queue_in_flight[queue] -= 1
+            self.queue_completed[queue] += 1
             self.trace.record(
                 TraceEntry(command.submit_ns, command.complete_ns,
                            command.opcode, command.lba, command.sectors,
@@ -255,7 +311,7 @@ class NvmeDevice:
                     service_ns=latency,
                     queue_ns=command.complete_ns - command.submit_ns - latency,
                     status=command.status, span=command.span,
-                    path=command.path)
+                    path=command.path, queue=queue)
             if command.opcode == "flush" and command.status == STATUS_OK:
                 # The fault plan may schedule a power cut "right after the
                 # k-th flush": flushed data is durable, everything written

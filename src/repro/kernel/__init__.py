@@ -20,12 +20,19 @@ from repro.kernel.extent import Extent, ExtentTree
 from repro.kernel.extfs import ExtFs
 from repro.kernel.iouring import IoUring
 from repro.kernel.journal import Journal, JournalConfig, serialize_fs
-from repro.kernel.kernel import Kernel, KernelConfig, NvmeRetryPolicy, ReadResult
+from repro.kernel.kernel import (
+    ChainStatus,
+    Kernel,
+    KernelConfig,
+    NvmeRetryPolicy,
+    ReadResult,
+)
 from repro.kernel.layers import CostModel
 from repro.kernel.process import File, Process
 from repro.kernel.recovery import FsckReport, RecoveryReport, fsck, reload_fs
 
 __all__ = [
+    "ChainStatus",
     "CostModel",
     "Extent",
     "ExtentTree",

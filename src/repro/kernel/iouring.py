@@ -142,12 +142,17 @@ class IoUring:
                              segments=len(segments), span=span, path="uring")
             self._in_flight += 1
             state = _SqeState(self, sqe, len(segments), span=span)
+            # All of this ring's plain I/O rides the submitter's queue
+            # pair; tagged chains pick the same pair inside the chain
+            # engine (both key off the owning process).
+            queue = kernel.queue_for(self.proc)
             for lba, sectors in segments:
                 yield from kernel.cpus.run_thread(cost.nvme_driver_ns)
                 event = sim.event()
                 event.add_callback(state.segment_done)
                 command = NvmeCommand("read", lba, sectors,
-                                      cookie=IoCookie("irq", event=event))
+                                      cookie=IoCookie("irq", event=event),
+                                      queue=queue)
                 if bus.enabled:
                     command.span = span
                     command.path = "uring"

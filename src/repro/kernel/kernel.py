@@ -21,6 +21,7 @@ an ioctl-handler registry that :mod:`repro.core` fills in.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -41,10 +42,10 @@ from repro.kernel.layers import CostModel
 from repro.kernel.process import File, Process
 from repro.obs import events as obs_events
 from repro.obs.bus import TraceBus, get_default_bus
-from repro.sim import CpuSet, RandomStreams, Simulator
+from repro.sim import CpuSet, RandomStreams, Resource, Simulator
 
-__all__ = ["IoCookie", "Kernel", "KernelConfig", "NvmeRetryPolicy",
-           "ReadResult"]
+__all__ = ["ChainStatus", "IoCookie", "Kernel", "KernelConfig",
+           "NvmeRetryPolicy", "ReadResult"]
 
 
 @dataclass(frozen=True)
@@ -115,29 +116,76 @@ class KernelConfig:
     #: Metadata journal configuration; None runs the file system without
     #: durability (crash recovery then being impossible, as before).
     journal: Optional[JournalConfig] = None
+    #: NVMe submission/completion queue pairs.  1 (the default) keeps the
+    #: historical single-pair device and its byte-identical traces; N > 1
+    #: gives each pair its own service loops sharing the device bandwidth,
+    #: with I/Os steered by submitter pid (``Kernel.queue_for``).
+    queue_pairs: int = 1
+    #: Steer each queue pair's completion interrupts to the CPU core that
+    #: owns the pair (core ``queue % cores``), serialising that pair's
+    #: completion-side work on its core the way a bound IRQ vector does.
+    #: None (default) enables steering exactly when ``queue_pairs > 1``;
+    #: pass True to model a bound vector even for a single pair (all
+    #: completion work then funnels through one core — the contention the
+    #: ``scale`` experiment measures), or False to keep completions on the
+    #: shared run queue.
+    irq_steering: Optional[bool] = None
+
+
+class ChainStatus(str, enum.Enum):
+    """Typed status of a (possibly chained) read.
+
+    Values are the historical status strings, and the class mixes in
+    ``str``, so comparisons against both the old ``ReadResult.OK``-style
+    aliases and bare literals (``result.status == "eextent"``) keep
+    working, and statuses serialise to the same bytes in ``--json`` rows,
+    trace events, and metrics labels as before the enum existed.  (The
+    mixin is why this is a string enum rather than an ``IntEnum`` — int
+    values would have changed every serialised artefact.)
+    """
+
+    OK = "ok"
+    EXTENT_INVALIDATED = "eextent"
+    SPLIT_FALLBACK = "split-fallback"
+    #: A faulted hop exhausted the in-kernel retry budget; the chain was
+    #: handed back (with its scratch) to finish in user space.
+    FAULT_FALLBACK = "fault-fallback"
+    CHAIN_LIMIT = "echainlim"
+    EIO = "eio"
+
+    # Render as the bare value ("ok", not "ChainStatus.OK") on every
+    # supported Python version, so tables, f-strings, and label keys are
+    # stable.
+    __str__ = str.__str__
+    __format__ = str.__format__
 
 
 class ReadResult:
     """What a read (possibly a BPF chain) returned to the application."""
 
-    OK = "ok"
-    EXTENT_INVALIDATED = "eextent"
-    CHAIN_LIMIT = "echainlim"
-    SPLIT_FALLBACK = "split-fallback"
-    #: A faulted hop exhausted the in-kernel retry budget; the chain was
-    #: handed back (with its scratch) to finish in user space.
-    FAULT_FALLBACK = "fault-fallback"
-    EIO = "eio"
+    #: Backwards-compatible aliases for the :class:`ChainStatus` members
+    #: (these used to be bare strings; the enum values are those strings).
+    OK = ChainStatus.OK
+    EXTENT_INVALIDATED = ChainStatus.EXTENT_INVALIDATED
+    CHAIN_LIMIT = ChainStatus.CHAIN_LIMIT
+    SPLIT_FALLBACK = ChainStatus.SPLIT_FALLBACK
+    FAULT_FALLBACK = ChainStatus.FAULT_FALLBACK
+    EIO = ChainStatus.EIO
 
     __slots__ = ("data", "status", "hops", "final_offset", "value", "value2",
                  "scratch")
 
-    def __init__(self, data: bytes, status: str = "ok", hops: int = 1,
+    def __init__(self, data: bytes, status: str = ChainStatus.OK,
+                 hops: int = 1,
                  final_offset: int = 0, value: Optional[int] = None,
                  value2: Optional[int] = None,
                  scratch: Optional[bytes] = None):
         self.data = data
-        self.status = status
+        try:
+            self.status = ChainStatus(status)
+        except ValueError:
+            # Unknown/caller-defined status strings pass through untyped.
+            self.status = status
         self.hops = hops
         self.final_offset = final_offset
         #: Scalar results a BPF chain chose to return instead of a buffer.
@@ -190,10 +238,29 @@ class Kernel:
         self.trace = IoTrace(enabled=self.config.trace_device)
         self.bus = (self.config.bus if self.config.bus is not None
                     else get_default_bus())
+        if self.config.queue_pairs < 1:
+            raise InvalidArgument(
+                f"queue_pairs must be >= 1, got {self.config.queue_pairs}")
         self.device = NvmeDevice(sim, device_model, self.media,
                                  self.streams.stream("nvme"), trace=self.trace,
                                  bus=self.bus,
-                                 cache_depth=self.config.write_cache_depth)
+                                 cache_depth=self.config.write_cache_depth,
+                                 queues=self.config.queue_pairs)
+        # Per-core IRQ steering: each queue pair's completion vector is
+        # bound to core ``queue % cores``, so all completion-side work of
+        # one pair (IRQ entry, the BPF hook, resubmission) serialises on
+        # that core instead of spreading over the run queue.  Lanes model
+        # the interrupt context of their core: hardware IRQs preempt
+        # whatever thread the core is running, which a non-preemptive
+        # simulator cannot express, so the lane bounds completion-path
+        # *concurrency* (the scaling-relevant contention) rather than
+        # stealing the thread scheduler's cycles.
+        steer = self.config.irq_steering
+        if steer is None:
+            steer = self.config.queue_pairs > 1
+        self.irq_lanes: Optional[List[Resource]] = (
+            [Resource(sim, 1, name=f"irq-core{core}")
+             for core in range(self.config.cores)] if steer else None)
         self.media.bus = self.bus
         self.media.clock = lambda: sim.now
         self.device.completion_handler = self._on_device_completion
@@ -395,11 +462,13 @@ class Kernel:
         if hook_state is None:
             hook_state = {}
         hook_state["span"] = span
+        queue = self.queue_for(proc)
         try:
             while True:  # syscall-dispatch hook reissue loop
                 data = yield from self._normal_read_path(file, offset, length,
                                                          span=span,
-                                                         path=io_path)
+                                                         path=io_path,
+                                                         queue=queue)
                 result = ReadResult(data, final_offset=offset)
                 if syscall_hooked:
                     action, payload = yield from self.syscall_read_hook(
@@ -450,13 +519,15 @@ class Kernel:
             self.bus.emit(obs_events.BIO_SUBMIT, self.sim.now,
                           cpu_ns=cost.bio_ns, segments=len(segments),
                           span=span, path="write")
+        queue = self.queue_for(proc)
         if self.retry_enabled:
             consumed = 0
             for lba, sectors in segments:
                 chunk = data[consumed : consumed + sectors * 512]
                 consumed += sectors * 512
                 yield from self._nvme_rw_retry("write", lba, sectors,
-                                               chunk, span, "write")
+                                               chunk, span, "write",
+                                               queue=queue)
         else:
             events = []
             consumed = 0
@@ -466,7 +537,8 @@ class Kernel:
                 consumed += sectors * 512
                 event = self.sim.event()
                 command = NvmeCommand("write", lba, sectors, data=chunk,
-                                      cookie=IoCookie("irq", event=event))
+                                      cookie=IoCookie("irq", event=event),
+                                      queue=queue)
                 if span:
                     command.span = span
                     command.path = "write"
@@ -509,11 +581,12 @@ class Kernel:
             span = self.bus.span_start("sys_fsync", self.sim.now,
                                        pid=proc.pid, path="write")
             self._emit_syscall("fsync", proc.pid, path="write", span=span)
+        queue = self.queue_for(proc)
         try:
-            yield from self._device_flush(span, "write")
+            yield from self._device_flush(span, "write", queue=queue)
             journal = self.fs.journal
             if journal is not None and journal.pending_txns:
-                yield from self._commit_journal(span, "write")
+                yield from self._commit_journal(span, "write", queue=queue)
             yield from self.cpus.run_thread(cost.context_switch_ns)
             if self.bus.enabled:
                 self.bus.emit(obs_events.CONTEXT_SWITCH, self.sim.now,
@@ -524,13 +597,19 @@ class Kernel:
                 self.bus.span_end(span, self.sim.now)
         return 0
 
-    def _device_flush(self, span: int, path: str):
-        """Issue an NVMe FLUSH and wait for it (timed)."""
+    def _device_flush(self, span: int, path: str, queue: int = 0):
+        """Issue an NVMe FLUSH and wait for it (timed).
+
+        The flush drains the device-wide volatile cache whatever queue it
+        arrives on; ``queue`` only selects the pair (and completion
+        vector) carrying the command.
+        """
         cost = self.cost
         yield from self.cpus.run_thread(cost.nvme_driver_ns)
         event = self.sim.event()
         command = NvmeCommand("flush", 0, 0,
-                              cookie=IoCookie("irq", event=event))
+                              cookie=IoCookie("irq", event=event),
+                              queue=queue)
         if self.bus.enabled:
             command.span = span
             command.path = path
@@ -542,7 +621,7 @@ class Kernel:
         if completed.status != 0:
             raise IoError("flush failed")
 
-    def _commit_journal(self, span: int, path: str):
+    def _commit_journal(self, span: int, path: str, queue: int = 0):
         """FUA-write every pending journal txn frame, in order (timed)."""
         journal = self.fs.journal
         cost = self.cost
@@ -560,7 +639,8 @@ class Kernel:
             event = self.sim.event()
             command = NvmeCommand("write", lba, len(frame) // 512,
                                   data=frame, fua=True, source="journal",
-                                  cookie=IoCookie("irq", event=event))
+                                  cookie=IoCookie("irq", event=event),
+                                  queue=queue)
             if self.bus.enabled:
                 command.span = span
                 command.path = path
@@ -594,13 +674,33 @@ class Kernel:
         """Hybrid polling: spin for completions on microsecond devices."""
         return self.model.read_ns < self.cost.poll_threshold_ns
 
+    def queue_for(self, proc: Process) -> int:
+        """The NVMe queue pair owning ``proc``'s I/O (pid-steered)."""
+        pairs = self.config.queue_pairs
+        if pairs == 1:
+            return 0
+        return proc.pid % pairs
+
+    def run_irq(self, cost: int, queue: int = 0):
+        """Charge interrupt-context CPU for ``queue``'s completion vector.
+
+        Without steering this is the historical shared run queue at IRQ
+        priority; with steering the work serialises on the IRQ lane of the
+        core owning the queue pair.
+        """
+        if self.irq_lanes is None:
+            yield from self.cpus.run_irq(cost)
+        else:
+            yield from self.irq_lanes[queue % len(self.irq_lanes)].execute(
+                cost)
+
     @property
     def retry_enabled(self) -> bool:
         return self.retry_policy is not None and self.retry_policy.enabled
 
     def _nvme_rw_retry(self, opcode: str, lba: int, sectors: int,
                        data: Optional[bytes], span: int, path: str,
-                       held: bool = False):
+                       held: bool = False, queue: int = 0):
         """Submit one command with the driver retry policy; returns the
         successful completion or raises :class:`IoError`.
 
@@ -622,7 +722,8 @@ class Kernel:
             event = self.sim.event()
             command = NvmeCommand(
                 opcode, lba, sectors, data=data,
-                cookie=IoCookie("poll" if held else "irq", event=event))
+                cookie=IoCookie("poll" if held else "irq", event=event),
+                queue=queue)
             if attempt > 1:
                 command.source = "retry"
             if self.bus.enabled:
@@ -662,7 +763,8 @@ class Kernel:
                 yield self.sim.timeout(backoff)
 
     def _normal_read_path(self, file: File, offset: int, length: int,
-                          span: int = 0, path: str = "normal"):
+                          span: int = 0, path: str = "normal",
+                          queue: int = 0):
         """ext4 -> BIO -> driver -> device for one read; returns bytes."""
         cost = self.cost
         yield from self.cpus.run_thread(cost.filesystem_ns)
@@ -691,7 +793,7 @@ class Kernel:
                     for lba, sectors in segments:
                         completed = yield from self._nvme_rw_retry(
                             "read", lba, sectors, None, span, path,
-                            held=True)
+                            held=True, queue=queue)
                         chunks.append(completed.data)
                 else:
                     events = []
@@ -700,7 +802,8 @@ class Kernel:
                         event = self.sim.event()
                         command = NvmeCommand(
                             "read", lba, sectors,
-                            cookie=IoCookie("poll", event=event))
+                            cookie=IoCookie("poll", event=event),
+                            queue=queue)
                         if self.bus.enabled:
                             command.span = span
                             command.path = path
@@ -723,7 +826,7 @@ class Kernel:
             chunks = []
             for lba, sectors in segments:
                 completed = yield from self._nvme_rw_retry(
-                    "read", lba, sectors, None, span, path)
+                    "read", lba, sectors, None, span, path, queue=queue)
                 chunks.append(completed.data)
         else:
             events = []
@@ -731,7 +834,8 @@ class Kernel:
                 yield from self.cpus.run_thread(cost.nvme_driver_ns)
                 event = self.sim.event()
                 command = NvmeCommand("read", lba, sectors,
-                                      cookie=IoCookie("irq", event=event))
+                                      cookie=IoCookie("irq", event=event),
+                                      queue=queue)
                 if self.bus.enabled:
                     command.span = span
                     command.path = path
@@ -783,7 +887,7 @@ class Kernel:
     def _irq_complete(self, command: NvmeCommand):
         """The plain completion interrupt: bookkeeping, then wake the waiter."""
         self.irq_count += 1
-        yield from self.cpus.run_irq(self.cost.irq_entry_ns)
+        yield from self.run_irq(self.cost.irq_entry_ns, command.queue)
         if self.bus.enabled:
             self.bus.emit(obs_events.IRQ_ENTRY, self.sim.now,
                           cpu_ns=self.cost.irq_entry_ns, span=command.span,

@@ -23,10 +23,12 @@ event type                emitted by / meaning
                           BIO layer split it; ``segments``, ``span``.
 ``nvme_submit``           a command was posted to the device submission
                           queue; ``opcode``, ``lba``, ``sectors``,
-                          ``source``, ``driver_ns``, ``queue_depth``.
+                          ``source``, ``driver_ns``, ``queue_depth``,
+                          ``queue`` (owning SQ/CQ pair).
 ``nvme_complete``         device finished servicing a command;
                           ``service_ns`` (media time, excludes queueing),
-                          ``queue_ns`` (time spent queued), ``status``.
+                          ``queue_ns`` (time spent queued), ``status``,
+                          ``queue`` (owning SQ/CQ pair).
 ``irq_entry``             completion interrupt entry; ``cpu_ns``.
 ``context_switch``        a blocked thread was woken; ``cpu_ns``.
 ``app_process``           application-side per-lookup processing;

@@ -190,7 +190,10 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
     ``extent_cache_lookups_total`` (by outcome),
     ``extent_cache_invalidations_total``, ``resubmissions_total``
     (by pid, the fairness drain), ``nvme_commands_total`` (by source),
-    ``nvme_queue_depth`` gauge (last observed), and the fault-path
+    ``nvme_queue_depth`` gauge (last observed),
+    ``nvme_qpair_commands_total`` (completions by queue pair),
+    ``nvme_qpair_depth`` gauge (in-flight per queue pair, tracked from
+    the ``queue`` field on submit/complete), and the fault-path
     counters: ``faults_injected_total`` (by kind),
     ``nvme_timeouts_total``, ``nvme_retries_total`` (by reason), and
     ``chain_fallbacks_total`` (by reason).
@@ -217,6 +220,10 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
                              "Chained resubmissions drained to bio, by pid")
     nvme = registry.counter("nvme_commands_total", "NVMe submissions by source")
     qdepth = registry.gauge("nvme_queue_depth", "Last observed queue depth")
+    qpair_cmds = registry.counter("nvme_qpair_commands_total",
+                                  "NVMe completions by queue pair")
+    qpair_depth = registry.gauge("nvme_qpair_depth",
+                                 "In-flight commands per queue pair")
 
     bus.subscribe(lambda e: syscalls.inc(op=e.get("op", "?")), ev.SYSCALL_ENTER)
     bus.subscribe(lambda e: hops.inc(), ev.CHAIN_HOP)
@@ -233,9 +240,16 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
 
     bus.subscribe(_on_drain, ev.RESUBMIT_DRAIN)
 
+    # Per-queue-pair depth is tracked subscriber-side from the ``queue``
+    # field on submit/complete, so the device emits no extra events.
+    qpair_in_flight: Dict[int, int] = {}
+
     def _on_nvme_submit(event: TraceEvent) -> None:
         nvme.inc(source=event.get("source", "bio"))
         qdepth.set(event.get("queue_depth", 0))
+        queue = event.get("queue", 0)
+        qpair_in_flight[queue] = qpair_in_flight.get(queue, 0) + 1
+        qpair_depth.set(qpair_in_flight[queue], queue=queue)
 
     bus.subscribe(_on_nvme_submit, ev.NVME_SUBMIT)
 
@@ -282,6 +296,11 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
             count = event.get("sectors", 0)
             if count:
                 sectors.inc(count, op=event.get("opcode", "?"))
+        queue = event.get("queue", 0)
+        qpair_cmds.inc(queue=queue)
+        remaining = qpair_in_flight.get(queue, 0) - 1
+        qpair_in_flight[queue] = max(remaining, 0)
+        qpair_depth.set(qpair_in_flight[queue], queue=queue)
 
     bus.subscribe(_on_nvme_complete, ev.NVME_COMPLETE)
     bus.subscribe(lambda e: sectors.inc(e.get("sectors", 0), op="discard"),
