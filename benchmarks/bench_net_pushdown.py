@@ -1,0 +1,83 @@
+"""Network pushdown: naive vs pushdown remote B-tree GETs (BPF-oF).
+
+One client looks up keys in a B-tree that lives on a disaggregated
+storage target across the simulated fabric.  The naive strategy issues
+one READ RPC per tree level and parses pages client-side; the pushdown
+strategy installs the (target-re-verified) traversal chain once and
+issues a single EXEC_CHAIN per GET.  The expectation is BPF-oF's shape:
+the speedup grows with depth and RTT, approaching the hop count once
+the network dominates the device — at RTT >= 20 us and depth >= 4 the
+pushdown GET must be at least 2x faster, with exactly one RPC per GET
+against the naive strategy's depth RPCs.
+
+Runnable directly for the CI smoke test::
+
+    PYTHONPATH=src python benchmarks/bench_net_pushdown.py --smoke
+"""
+
+import argparse
+import sys
+
+from repro.bench import format_table, net_pushdown
+
+COLUMNS = ["depth", "rtt_us", "naive_us", "pushdown_us", "speedup",
+           "naive_rpcs_per_get", "pushdown_rpcs_per_get",
+           "naive_kiops", "pushdown_kiops"]
+
+FULL = {"depths": (1, 2, 3, 4, 5, 6), "rtts_us": (5, 10, 20, 50),
+        "gets": 30}
+SMOKE = {"depths": (2, 4), "rtts_us": (10, 20), "gets": 10}
+
+
+def check_shape(rows):
+    """The pushdown invariants any run must satisfy."""
+    for row in rows:
+        # Pushdown is always exactly one RPC; naive pays one per hop.
+        assert row["pushdown_rpcs_per_get"] == 1.0
+        assert row["naive_rpcs_per_get"] >= row["depth"]
+        # Pushdown never loses at depth >= 2 (at depth 1 both sides do
+        # one round trip, so it is a wash).
+        if row["depth"] >= 2:
+            assert row["speedup"] > 1.0, row
+        # The acceptance criterion: >= 2x once the network dominates.
+        if row["depth"] >= 4 and row["rtt_us"] >= 20:
+            assert row["speedup"] >= 2.0, row
+    # Speedup grows with RTT at fixed depth: more network to save.
+    by_depth = {}
+    for row in rows:
+        by_depth.setdefault(row["depth"], []).append(row)
+    for depth, group in by_depth.items():
+        group.sort(key=lambda row: row["rtt_us"])
+        for low, high in zip(group, group[1:]):
+            if depth >= 2:
+                assert high["speedup"] >= low["speedup"], (depth, low, high)
+
+
+def test_net_pushdown(benchmark):
+    rows = benchmark.pedantic(net_pushdown, kwargs=FULL,
+                              rounds=1, iterations=1)
+    print()
+    print(format_table("BPF-oF — naive vs pushdown GETs over the network",
+                       COLUMNS, rows))
+    check_shape(rows)
+    best = max(rows, key=lambda row: row["speedup"])
+    benchmark.extra_info["best_speedup"] = best["speedup"]
+    benchmark.extra_info["best_cell"] = (best["depth"], best["rtt_us"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", "--quick", action="store_true",
+                        dest="smoke",
+                        help="miniature sweep for CI smoke testing")
+    args = parser.parse_args(argv)
+    rows = net_pushdown(**(SMOKE if args.smoke else FULL))
+    print(format_table("BPF-oF — naive vs pushdown GETs over the network",
+                       COLUMNS, rows))
+    check_shape(rows)
+    print("shape OK: 1 RPC per pushdown GET, >=2x at depth>=4, rtt>=20us")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

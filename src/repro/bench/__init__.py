@@ -9,7 +9,9 @@
   (§4's YCSB measurement), ``fault_resilience`` (availability under an
   injected fault plan), ``crash_consistency`` (crash-point enumeration
   with recovery verification), ``mq_scaling`` (aggregate IOPS vs NVMe
-  SQ/CQ pairs with per-core IRQ steering), and the ablations.
+  SQ/CQ pairs with per-core IRQ steering), ``net_pushdown`` (BPF-oF's
+  naive vs pushdown remote GETs over the simulated network), and the
+  ablations.
 
 Each experiment returns plain row dictionaries so the ``benchmarks/``
 pytest files, ``EXPERIMENTS.md``, and tests all consume the same data.
@@ -29,6 +31,7 @@ from repro.bench.experiments import (
     fig3c_latency,
     fig3d_iouring,
     mq_scaling,
+    net_pushdown,
     table1_breakdown,
 )
 from repro.bench.runner import BtreeBench, run_closed_loop
@@ -50,6 +53,7 @@ __all__ = [
     "format_table",
     "interference",
     "mq_scaling",
+    "net_pushdown",
     "rows_to_json",
     "run_closed_loop",
     "table1_breakdown",

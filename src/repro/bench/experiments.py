@@ -39,6 +39,7 @@ __all__ = [
     "fig3c_latency",
     "fig3d_iouring",
     "mq_scaling",
+    "net_pushdown",
     "table1_breakdown",
 ]
 
@@ -857,3 +858,95 @@ def mq_scaling(queue_pairs: Sequence[int] = (1, 2, 4, 8),
                 "busiest_q_pct": 100.0 * busiest / total,
             })
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Network pushdown — BPF-oF's naive-vs-pushdown GET shape
+# ---------------------------------------------------------------------------
+
+
+def net_pushdown(depths: Sequence[int] = (1, 2, 3, 4, 5, 6),
+                 rtts_us: Sequence[int] = (5, 10, 20, 50),
+                 gets: int = 30,
+                 seed: int = 17,
+                 cores: int = 4) -> List[Dict]:
+    """Naive (RPC per B-tree hop) vs pushdown (one EXEC_CHAIN) GETs.
+
+    One client, one storage target, one B-tree per (depth, RTT) cell.
+    The naive strategy fetches a page per level and parses it
+    client-side, paying the round trip ``depth`` times; pushdown ships
+    the verified traversal program once at setup and then pays the
+    round trip once per GET while the chain walks the tree in the
+    target's NVMe completion path.  Expected shape (BPF-oF): the
+    speedup grows with both depth and RTT, approaching the hop count
+    once the network dominates the device — at RTT >= 20 us and depth
+    >= 4 the pushdown GET is at least 2x faster.
+    """
+    rows: List[Dict] = []
+    for depth in depths:
+        for rtt_us in rtts_us:
+            rows.append(_net_pushdown_cell(depth, rtt_us, gets, seed,
+                                           cores))
+    return rows
+
+
+def _net_pushdown_cell(depth: int, rtt_us: int, gets: int, seed: int,
+                       cores: int) -> Dict:
+    from repro.bench.runner import choose_fanout
+    from repro.net import Connection, NetConfig, NetworkFabric, RemoteClient
+    from repro.net import StorageTarget
+
+    sim = Simulator()
+    target = StorageTarget(sim, model=NVM2_BENCH,
+                           config=KernelConfig(cores=cores, seed=seed))
+    fanout = choose_fanout(depth)
+    num_keys = BTree.keys_for_depth(depth, fanout)
+    inode = target.kernel.fs.create("/index")
+    items = [(key * 3 + 1, key) for key in range(num_keys)]
+    tree = BTree.build(FsBackend(target.kernel.fs, inode), items,
+                       fanout=fanout)
+    if tree.depth != depth:
+        raise InvalidArgument(f"built depth {tree.depth}, wanted {depth}")
+    root = tree.meta.root_offset
+    fabric = NetworkFabric(sim, NetConfig(one_way_ns=rtt_us * 1000 // 2,
+                                          seed=seed))
+    connection = Connection(fabric, "bench-client")
+    target.attach(connection)
+    client = RemoteClient(connection)
+    program = index_traversal_program(fanout=fanout)
+    rng = RandomStreams(seed).stream("pushdown-keys")
+    keys = [(rng.randrange(num_keys)) * 3 + 1 for _ in range(gets)]
+    lat_ns = {"naive": [], "pushdown": []}
+    rpc_counts = {"naive": 0, "pushdown": 0}
+
+    def driver():
+        chain_id = yield from client.install_chain("/index", program)
+        for mode in ("naive", "pushdown"):
+            for key in keys:
+                start = sim.now
+                if mode == "naive":
+                    value, found, rpcs = yield from client.remote_btree_get(
+                        key, mode="naive", path="/index", root_offset=root)
+                else:
+                    value, found, rpcs = yield from client.remote_btree_get(
+                        key, mode="pushdown", chain_id=chain_id,
+                        root_offset=root)
+                if not found or value != (key - 1) // 3:
+                    raise IoError(f"{mode} GET returned {value} for {key}")
+                lat_ns[mode].append(sim.now - start)
+                rpc_counts[mode] += rpcs
+
+    sim.run_process(driver())
+    naive_us = sum(lat_ns["naive"]) / gets / 1000
+    push_us = sum(lat_ns["pushdown"]) / gets / 1000
+    return {
+        "depth": depth,
+        "rtt_us": rtt_us,
+        "naive_us": round(naive_us, 2),
+        "pushdown_us": round(push_us, 2),
+        "speedup": round(naive_us / push_us, 2),
+        "naive_rpcs_per_get": round(rpc_counts["naive"] / gets, 2),
+        "pushdown_rpcs_per_get": round(rpc_counts["pushdown"] / gets, 2),
+        "naive_kiops": round(1e3 / naive_us, 1),
+        "pushdown_kiops": round(1e3 / push_us, 1),
+    }

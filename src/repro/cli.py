@@ -6,9 +6,9 @@ Commands:
   table (``--quick`` runs miniature versions in a few seconds).
 * ``experiment <name>`` — run one experiment (fig1, table1, fig3a, fig3b,
   fig3c, fig3d, stability, bound, churn, vmmode, appcache, interference,
-  resilience, crash, scale).  An experiment name may also be used as the
-  top-level command (``python -m repro scale --json`` is shorthand for
-  ``python -m repro experiment scale --json``).
+  resilience, crash, scale, pushdown).  An experiment name may also be
+  used as the top-level command (``python -m repro scale --json`` is
+  shorthand for ``python -m repro experiment scale --json``).
   ``--json`` prints the rows as JSON instead of a table; ``--trace-jsonl
   PATH`` additionally records the full tracepoint stream to ``PATH``;
   ``--fault-plan SPEC`` arms a deterministic fault plan (see
@@ -47,6 +47,7 @@ from repro.bench import (
     format_table,
     interference,
     mq_scaling,
+    net_pushdown,
     rows_to_json,
     table1_breakdown,
 )
@@ -131,6 +132,11 @@ _EXPERIMENTS = {
                   queue_pairs=(1, 2, 4) if quick else (1, 2, 4, 8),
                   threads=(24,) if quick else (24, 32),
                   duration_ns=1_000_000 if quick else 2_000_000)),
+    "pushdown": ("BPF-oF — naive vs pushdown GETs over the network",
+                 lambda quick: net_pushdown(
+                     depths=(2, 4) if quick else (1, 2, 3, 4, 5, 6),
+                     rtts_us=(10, 20) if quick else (5, 10, 20, 50),
+                     gets=10 if quick else 30)),
 }
 
 _CRASH_MODES = ("flush", "op", "op-torn", "sync")
@@ -286,6 +292,28 @@ def _cmd_verify_demo(args) -> int:
     return 0
 
 
+def _add_runner_parser(sub, command: str, help_text: str, func):
+    """One experiment-running subcommand: shared name/flag wiring.
+
+    Both ``experiment`` and ``metrics`` take an experiment name plus the
+    same run-shaping flags; registering a new experiment in
+    ``_EXPERIMENTS`` makes it available to both (and to the top-level
+    name shorthand) without touching the parser code.
+    """
+    parser = sub.add_parser(command, help=help_text)
+    parser.add_argument("name", choices=sorted(_EXPERIMENTS))
+    parser.add_argument("--quick", action="store_true",
+                        help="miniature run (seconds instead of minutes)")
+    parser.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                        help="record the tracepoint stream to PATH")
+    parser.add_argument(
+        "--fault-plan", metavar="SPEC", default=None,
+        help="arm a fault plan, e.g. "
+             "'seed=7,read_error_rate=0.01,error_burst=2'")
+    parser.set_defaults(func=func)
+    return parser
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -297,34 +325,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="miniature runs (seconds instead of minutes)")
     report.set_defaults(func=_cmd_report)
 
-    experiment = sub.add_parser("experiment", help="run one experiment")
-    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
-    experiment.add_argument("--quick", action="store_true")
+    experiment = _add_runner_parser(sub, "experiment",
+                                    "run one experiment", _cmd_experiment)
     experiment.add_argument("--json", action="store_true",
                             help="print result rows as JSON")
-    experiment.add_argument("--trace-jsonl", metavar="PATH", default=None,
-                            help="record the tracepoint stream to PATH")
-    experiment.add_argument(
-        "--fault-plan", metavar="SPEC", default=None,
-        help="arm a fault plan, e.g. "
-             "'seed=7,read_error_rate=0.01,error_burst=2'")
     experiment.add_argument(
         "--crash-at", metavar="MODE:INDEX", default=None,
         help="('crash' only) run a single crash point, e.g. 'flush:2' "
              "or 'op-torn:9'")
-    experiment.set_defaults(func=_cmd_experiment)
 
-    metrics = sub.add_parser(
-        "metrics", help="run one experiment under the observability bus")
-    metrics.add_argument("name", choices=sorted(_EXPERIMENTS))
-    metrics.add_argument("--quick", action="store_true")
-    metrics.add_argument("--trace-jsonl", metavar="PATH", default=None,
-                         help="record the tracepoint stream to PATH")
-    metrics.add_argument(
-        "--fault-plan", metavar="SPEC", default=None,
-        help="arm a fault plan, e.g. "
-             "'seed=7,read_error_rate=0.01,error_burst=2'")
-    metrics.set_defaults(func=_cmd_metrics)
+    _add_runner_parser(sub, "metrics",
+                       "run one experiment under the observability bus",
+                       _cmd_metrics)
 
     disasm = sub.add_parser("disasm",
                             help="disassemble a library BPF program")

@@ -159,3 +159,54 @@ class NotInstalled(KernelError):
     """A tagged I/O was issued on a descriptor without an installed program."""
 
     errno_name = "ENOPROG"
+
+
+# ---------------------------------------------------------------------------
+# Network / RPC errors (repro.net)
+# ---------------------------------------------------------------------------
+
+
+class NetError(KernelError):
+    """Base class for errors raised by the simulated network layer."""
+
+    errno_name = "ENET"
+
+
+class FramingError(NetError):
+    """A frame failed to decode (bad magic, truncated body, unknown op)."""
+
+    errno_name = "EBADMSG"
+
+
+class RpcTimeout(NetError):
+    """An RPC exhausted its retransmission budget without a reply."""
+
+    errno_name = "ETIMEDOUT"
+
+
+class RemoteError(NetError):
+    """The storage target refused an operation with an errno-style status.
+
+    The target never crashes on a bad request; it maps the server-side
+    exception to a status code carried in the reply frame, and the client
+    re-raises it as this typed error (or a subclass) carrying the remote
+    errno name and the human-readable reason.
+    """
+
+    errno_name = "EREMOTE"
+
+    def __init__(self, remote_errno: str, reason: str = ""):
+        self.remote_errno = remote_errno
+        self.reason = reason
+        detail = f"{remote_errno}: {reason}" if reason else remote_errno
+        super().__init__(f"target refused: {detail}")
+
+
+class RemoteVerifierRejected(RemoteError):
+    """The target's server-side verifier rejected an INSTALL_CHAIN program.
+
+    Mirrors BPF-oF: the target re-verifies untrusted client programs before
+    attaching them to its NVMe hook, whatever the client claims.
+    """
+
+    errno_name = "EVERIFY"

@@ -15,6 +15,8 @@ from repro.faults.crashpoints import (
     mixed_workload,
 )
 from repro.faults.plan import (
+    FAULT_NET_DELAY,
+    FAULT_NET_DROP,
     FAULT_POWER_LOSS,
     FAULT_SPIKE,
     FAULT_STALE,
@@ -30,6 +32,8 @@ from repro.faults.plan import (
 
 __all__ = [
     "CrashPointResult",
+    "FAULT_NET_DELAY",
+    "FAULT_NET_DROP",
     "FAULT_POWER_LOSS",
     "FAULT_SPIKE",
     "FAULT_STALE",

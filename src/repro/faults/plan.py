@@ -36,6 +36,8 @@ from repro.errors import InvalidArgument
 from repro.sim.rng import RandomStreams
 
 __all__ = [
+    "FAULT_NET_DELAY",
+    "FAULT_NET_DROP",
     "FAULT_POWER_LOSS",
     "FAULT_SPIKE",
     "FAULT_STALE",
@@ -55,6 +57,8 @@ FAULT_TIMEOUT = "timeout"
 FAULT_SPIKE = "spike"
 FAULT_STALE = "stale"
 FAULT_POWER_LOSS = "power_loss"
+FAULT_NET_DROP = "net_drop"
+FAULT_NET_DELAY = "net_delay"
 
 
 @dataclass(frozen=True)
@@ -89,10 +93,19 @@ class FaultSpec:
     #: At the power cut, tear the oldest volatile write at a seed-chosen
     #: sector boundary instead of dropping it whole (0/1).
     torn_write: int = 0
+    #: Probability that a network frame draws a drop episode: the frame
+    #: (and ``net_drop_burst - 1`` retransmissions of it) vanish on the
+    #: wire, then a one-shot cooldown guarantees the next send arrives.
+    net_drop_rate: float = 0.0
+    #: Consecutive losses per drop episode before the frame gets through.
+    net_drop_burst: int = 1
+    #: Probability that a delivered frame is held ``net_delay_ns`` extra.
+    net_delay_rate: float = 0.0
+    net_delay_ns: int = 50_000
 
     def __post_init__(self) -> None:
         for name in ("read_error_rate", "write_error_rate", "timeout_rate",
-                     "spike_rate"):
+                     "spike_rate", "net_drop_rate", "net_delay_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise InvalidArgument(f"{name} must be in [0, 1], got {rate}")
@@ -101,8 +114,14 @@ class FaultSpec:
                    self.spike_rate)
         if total > 1.0 or total_w > 1.0:
             raise InvalidArgument("fault rates must sum to <= 1 per opcode")
+        if self.net_drop_rate + self.net_delay_rate > 1.0:
+            raise InvalidArgument("net fault rates must sum to <= 1")
         if self.error_burst < 1:
             raise InvalidArgument("error_burst must be >= 1")
+        if self.net_drop_burst < 1:
+            raise InvalidArgument("net_drop_burst must be >= 1")
+        if self.net_delay_ns < 0:
+            raise InvalidArgument("net_delay_ns must be >= 0")
         if self.spike_factor < 1.0:
             raise InvalidArgument("spike_factor must be >= 1")
         if self.stale_interval_ns < 0 or self.window_start_ns < 0 or \
@@ -123,12 +142,17 @@ class FaultSpec:
         return (self.read_error_rate > 0 or self.write_error_rate > 0 or
                 self.timeout_rate > 0 or self.spike_rate > 0 or
                 self.stale_interval_ns > 0 or
-                self.power_loss_after_flushes > 0)
+                self.power_loss_after_flushes > 0 or
+                self.any_net_faults())
+
+    def any_net_faults(self) -> bool:
+        return self.net_drop_rate > 0 or self.net_delay_rate > 0
 
 
 _INT_FIELDS = {"seed", "error_burst", "stale_interval_ns",
                "window_start_ns", "window_end_ns",
-               "power_loss_after_flushes", "torn_write"}
+               "power_loss_after_flushes", "torn_write",
+               "net_drop_burst", "net_delay_ns"}
 
 
 def parse_fault_spec(text: str) -> FaultSpec:
@@ -171,14 +195,23 @@ class FaultPlan:
         #: Dedicated stream for the power cut (torn-write boundary choice),
         #: so arming power loss perturbs no other fault decision.
         self.power_rng = streams.stream("power")
+        #: Dedicated stream for network-frame fates, so arming net faults
+        #: perturbs no media/power decision (and vice versa).
+        self._net_rng = streams.stream("net")
         #: (opcode, lba) -> (kind, remaining failures) for open episodes.
         self._episodes: Dict[Tuple[str, int], Tuple[str, int]] = {}
         #: Targets whose next service is guaranteed to succeed.
         self._cooldown: set = set()
+        #: (link, request_id) -> remaining losses for open drop episodes.
+        self._net_episodes: Dict[Tuple[str, int], int] = {}
+        #: Frames whose next transmission is guaranteed to arrive.
+        self._net_cooldown: set = set()
         #: Injected-fault counters by kind, for metrics reconciliation.
         self.injected: Dict[str, int] = {FAULT_TRANSIENT: 0, FAULT_TIMEOUT: 0,
                                          FAULT_SPIKE: 0, FAULT_STALE: 0,
-                                         FAULT_POWER_LOSS: 0}
+                                         FAULT_POWER_LOSS: 0,
+                                         FAULT_NET_DROP: 0,
+                                         FAULT_NET_DELAY: 0}
         self._next_stale = spec.window_start_ns + spec.stale_interval_ns
         self._power_loss_fired = False
 
@@ -243,6 +276,48 @@ class FaultPlan:
         if draw < spec.spike_rate:
             self.injected[FAULT_SPIKE] += 1
             return FAULT_SPIKE
+        return None
+
+    # -- network faults (consumed by repro.net.fabric) ------------------
+
+    def net_decision(self, key: Tuple[str, int], now: int) -> Optional[str]:
+        """Decide one frame's fate; returns a fault kind or ``None``.
+
+        ``key`` identifies the retransmittable unit — ``(link name,
+        request id)`` — so a drawn drop opens an *episode* against that
+        frame: it and its next ``net_drop_burst - 1`` retransmissions are
+        lost, then a one-shot cooldown guarantees delivery.  Bounded
+        client retries therefore always make progress, exactly like the
+        media-error episodes, and the draws come from a dedicated RNG
+        stream so arming net faults never perturbs media decisions.
+        """
+        remaining = self._net_episodes.get(key)
+        if remaining is not None:
+            if remaining <= 1:
+                del self._net_episodes[key]
+                self._net_cooldown.add(key)
+            else:
+                self._net_episodes[key] = remaining - 1
+            self.injected[FAULT_NET_DROP] += 1
+            return FAULT_NET_DROP
+        if key in self._net_cooldown:
+            self._net_cooldown.discard(key)
+            return None
+        spec = self.spec
+        if not spec.active(now) or not spec.any_net_faults():
+            return None
+        draw = self._net_rng.random()
+        if draw < spec.net_drop_rate:
+            if spec.net_drop_burst > 1:
+                self._net_episodes[key] = spec.net_drop_burst - 1
+            else:
+                self._net_cooldown.add(key)
+            self.injected[FAULT_NET_DROP] += 1
+            return FAULT_NET_DROP
+        draw -= spec.net_drop_rate
+        if draw < spec.net_delay_rate:
+            self.injected[FAULT_NET_DELAY] += 1
+            return FAULT_NET_DELAY
         return None
 
     # -- extent-cache staleness (consumed by the chain engine) ----------

@@ -1,0 +1,156 @@
+"""The remote client: plain RPC I/O plus the two B-tree GET strategies.
+
+:class:`RemoteClient` wraps a :class:`~repro.net.transport.Connection`
+and turns the wire ops into a storage API.  Its centrepiece is
+:meth:`remote_btree_get`, which answers one key lookup two ways:
+
+* **naive** — one READ RPC per B-tree hop: fetch the root page, parse
+  it client-side, fetch the child, and so on.  A depth-``k`` tree pays
+  the network round trip ``k`` times, which is the disaggregated
+  analogue of the paper's per-hop kernel-crossing tax.
+* **pushdown** — one EXEC_CHAIN RPC: the previously installed (and
+  target-re-verified) traversal program walks the tree inside the
+  target's NVMe completion path, and only the answer crosses the
+  network.  The round trip is paid once, so at high RTT the speedup
+  approaches the hop count — BPF-oF's headline shape.
+
+Every method is a generator meant to run inside the simulation;
+failures surface as the typed errors of :mod:`repro.errors`
+(:class:`~repro.errors.RemoteError` refusals,
+:class:`~repro.errors.RpcTimeout` when retransmissions are exhausted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.core import Hook
+from repro.ebpf import Program
+from repro.net import wire
+from repro.net.transport import Connection
+from repro.structures.pages import PAGE_SIZE, decode_page, search_page
+
+__all__ = ["RemoteChainResult", "RemoteClient"]
+
+
+@dataclass(frozen=True)
+class RemoteChainResult:
+    """An EXEC_CHAIN reply: the target-side chain outcome, unwrapped."""
+
+    status: str
+    hops: int
+    value: Optional[int]
+    value2: Optional[int]
+    data: bytes
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class RemoteClient:
+    """A storage client talking to one :class:`StorageTarget`."""
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+
+    # ------------------------------------------------------------------
+    # Plain remote I/O
+    # ------------------------------------------------------------------
+
+    def read(self, path: str, offset: int, length: int):
+        """Remote ``pread`` (generator returning the data bytes)."""
+        status, body = yield from self.connection.call(
+            wire.OP_READ, wire.encode_read(path, offset, length))
+        wire.raise_for_status(status, body.decode("utf-8", "replace"))
+        return wire.decode_read_reply(body)
+
+    def write(self, path: str, offset: int, data: bytes):
+        """Remote ``pwrite`` (generator returning bytes written)."""
+        status, body = yield from self.connection.call(
+            wire.OP_WRITE, wire.encode_write(path, offset, data))
+        wire.raise_for_status(status, body.decode("utf-8", "replace"))
+        return wire.decode_write_reply(body)
+
+    # ------------------------------------------------------------------
+    # Chain pushdown
+    # ------------------------------------------------------------------
+
+    def install_chain(self, path: str, program: Program,
+                      hook: Union[Hook, str] = Hook.NVME,
+                      block_size: int = PAGE_SIZE, scratch_size: int = 256):
+        """Ship ``program`` to the target for re-verification + install.
+
+        Generator returning the target-assigned chain id.  Raises
+        :class:`~repro.errors.RemoteVerifierRejected` if the target's
+        verifier refuses the program.
+        """
+        hook_name = hook.value if isinstance(hook, Hook) else hook
+        body = wire.encode_install_chain(path, hook_name, block_size,
+                                         scratch_size, program.name,
+                                         list(program.instructions))
+        status, reply = yield from self.connection.call(
+            wire.OP_INSTALL_CHAIN, body)
+        wire.raise_for_status(status, reply.decode("utf-8", "replace"))
+        return wire.decode_install_chain_reply(reply)
+
+    def exec_chain(self, chain_id: int, offset: int,
+                   length: int = PAGE_SIZE, args: Tuple[int, ...] = ()):
+        """Run an installed chain on the target (generator)."""
+        status, reply = yield from self.connection.call(
+            wire.OP_EXEC_CHAIN,
+            wire.encode_exec_chain(chain_id, offset, length, args))
+        wire.raise_for_status(status, reply.decode("utf-8", "replace"))
+        chain_status, hops, value, value2, data = \
+            wire.decode_exec_chain_reply(reply)
+        return RemoteChainResult(chain_status, hops, value, value2, data)
+
+    # ------------------------------------------------------------------
+    # The two GET strategies
+    # ------------------------------------------------------------------
+
+    def remote_btree_get(self, key: int, *, mode: str,
+                         path: Optional[str] = None,
+                         root_offset: int = 0,
+                         chain_id: Optional[int] = None):
+        """Look up ``key`` remotely; returns ``(value, found, rpc_hops)``.
+
+        ``mode="naive"`` needs ``path`` (+ ``root_offset``) and issues
+        one READ per level; ``mode="pushdown"`` needs ``chain_id`` from
+        a prior :meth:`install_chain` and issues a single EXEC_CHAIN.
+        """
+        if mode == "naive":
+            if path is None:
+                raise ValueError("naive mode needs path")
+            result = yield from self._naive_get(path, root_offset, key)
+            return result
+        if mode == "pushdown":
+            if chain_id is None:
+                raise ValueError("pushdown mode needs chain_id")
+            result = yield from self._pushdown_get(chain_id, root_offset,
+                                                   key)
+            return result
+        raise ValueError(f"unknown mode {mode!r}")
+
+    def _naive_get(self, path: str, root_offset: int, key: int):
+        offset = root_offset
+        rpcs = 0
+        while True:
+            page = yield from self.read(path, offset, PAGE_SIZE)
+            rpcs += 1
+            _magic, level, entries = decode_page(page)
+            index, value = search_page(page, key)
+            if level > 0:
+                if value is None:
+                    return None, False, rpcs
+                offset = value
+                continue
+            found = index >= 0 and entries[index][0] == key
+            return (value if found else None), found, rpcs
+
+    def _pushdown_get(self, chain_id: int, root_offset: int, key: int):
+        result = yield from self.exec_chain(chain_id, root_offset,
+                                            PAGE_SIZE, args=(key,))
+        found = result.ok and result.value2 == 1
+        return (result.value if found else None), found, 1

@@ -1,0 +1,183 @@
+"""The storage target: a simulated kernel served over the network.
+
+:class:`StorageTarget` owns one :class:`~repro.kernel.kernel.Kernel`
+(cores, file system, NVMe device) plus a
+:class:`~repro.core.api.StorageBpf` facade, and serves four ops per
+attached connection:
+
+* **READ / WRITE** — plain ``pread``/``pwrite`` against a path (the
+  target opens descriptors lazily and caches them per client).
+* **INSTALL_CHAIN** — decode the program from its wire encoding and
+  **re-verify it server-side** with the target's own
+  :func:`repro.ebpf.verifier.verify` before installing it at the
+  requested hook.  This mirrors BPF-oF: the client is untrusted; a
+  program the verifier rejects is refused with a typed ``EVERIFY``
+  reply (reason included) and the target keeps serving.
+* **EXEC_CHAIN** — run an installed chain through
+  :meth:`~repro.core.api.StorageBpf.read_chain_robust`, i.e. the full
+  §4 NVMe-hook resubmission machinery, and return the chain result in
+  one reply.  This is the pushdown path: a k-hop B-tree descent costs
+  one network round trip instead of k.
+
+Each client connection gets its own kernel process, so the per-pid
+resubmission accounting and fairness bounds of
+:mod:`repro.core.accounting` apply per client: one greedy remote chain
+cannot starve the rest — exactly the exokernel-style isolation argument,
+now across the wire.
+
+Server-side failures never crash the target: kernel and BPF errors are
+mapped to errno-style reply statuses via their ``errno_name``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core import Hook, StorageBpf
+from repro.core.hooks import storage_ctx_layout
+from repro.device import LatencyModel
+from repro.device.latency import NVM_GEN2
+from repro.ebpf import Program
+from repro.errors import (
+    InvalidArgument,
+    KernelError,
+    ReproError,
+    VerifierError,
+)
+from repro.kernel import Kernel, KernelConfig
+from repro.net import wire
+from repro.net.transport import Connection
+from repro.sim import Simulator
+
+__all__ = ["StorageTarget"]
+
+
+class _ClientState:
+    """Per-connection server state: process, fd cache, installed chains."""
+
+    def __init__(self, proc):
+        self.proc = proc
+        self.fds: Dict[str, int] = {}
+        self.chains: Dict[int, int] = {}
+
+
+class StorageTarget:
+    """One disaggregated storage server around a simulated kernel."""
+
+    def __init__(self, sim: Simulator, model: Optional[LatencyModel] = None,
+                 config: Optional[KernelConfig] = None,
+                 max_chain_hops: int = 64):
+        self.sim = sim
+        self.kernel = Kernel(sim, model or NVM_GEN2, config)
+        self.bpf = StorageBpf(self.kernel, max_chain_hops=max_chain_hops)
+        self._clients: Dict[str, _ClientState] = {}
+        self._next_chain_id = 1
+        #: Ops actually executed (dedup-cache hits excluded), by op name.
+        self.executed: Dict[str, int] = {}
+        #: Refusals sent, by errno-style status name.
+        self.refused: Dict[str, int] = {}
+
+    @property
+    def accounting(self):
+        """The per-client (per-pid) chain accounting shared with the bpf."""
+        return self.bpf.accounting
+
+    def create_file(self, path: str, data: bytes) -> None:
+        """Populate the target's file system without simulated time."""
+        self.kernel.create_file(path, data)
+
+    def attach(self, connection: Connection) -> None:
+        """Serve RPCs arriving on ``connection`` (one process per client)."""
+        if connection.name in self._clients:
+            raise InvalidArgument(
+                f"client {connection.name!r} already attached")
+        proc = self.kernel.spawn_process(f"net-{connection.name}")
+        state = _ClientState(proc)
+        self._clients[connection.name] = state
+        connection.serve(lambda op, body: self._handle(state, op, body))
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def _handle(self, state: _ClientState, op: int, body: bytes):
+        """Decode, execute, and encode one request (generator)."""
+        try:
+            if op == wire.OP_READ:
+                reply = yield from self._op_read(state, body)
+            elif op == wire.OP_WRITE:
+                reply = yield from self._op_write(state, body)
+            elif op == wire.OP_INSTALL_CHAIN:
+                reply = yield from self._op_install_chain(state, body)
+            elif op == wire.OP_EXEC_CHAIN:
+                reply = yield from self._op_exec_chain(state, body)
+            else:
+                return self._refuse("EBADMSG", f"unknown op {op}")
+        except VerifierError as error:
+            return self._refuse("EVERIFY", error.reason)
+        except KernelError as error:
+            return self._refuse(error.errno_name, str(error))
+        except ReproError as error:
+            return self._refuse("EREMOTE", str(error))
+        self.executed[wire.OP_NAMES[op]] = \
+            self.executed.get(wire.OP_NAMES[op], 0) + 1
+        return wire.STATUS_OK, reply
+
+    def _refuse(self, errno_name: str, reason: str):
+        self.refused[errno_name] = self.refused.get(errno_name, 0) + 1
+        return wire.status_for_errno(errno_name), reason.encode("utf-8")
+
+    def _fd_for(self, state: _ClientState, path: str):
+        fd = state.fds.get(path)
+        if fd is None:
+            fd = yield from self.kernel.sys_open(state.proc, path)
+            state.fds[path] = fd
+        return fd
+
+    # -- ops -------------------------------------------------------------
+
+    def _op_read(self, state: _ClientState, body: bytes):
+        path, offset, length = wire.decode_read(body)
+        fd = yield from self._fd_for(state, path)
+        result = yield from self.kernel.sys_pread(state.proc, fd, offset,
+                                                  length)
+        return wire.encode_read_reply(result.data)
+
+    def _op_write(self, state: _ClientState, body: bytes):
+        path, offset, data = wire.decode_write(body)
+        fd = yield from self._fd_for(state, path)
+        written = yield from self.kernel.sys_pwrite(state.proc, fd, offset,
+                                                    data)
+        return wire.encode_write_reply(written)
+
+    def _op_install_chain(self, state: _ClientState, body: bytes):
+        (path, hook_name, block_size, scratch_size, program_name,
+         instructions) = wire.decode_install_chain(body)
+        hook = Hook(hook_name)
+        # The wire carries raw instructions; rebuild the Program against
+        # the *target's* context layout and re-verify before attaching.
+        # An unsafe program is refused here — never executed.
+        program = Program(instructions,
+                          storage_ctx_layout(block_size, scratch_size),
+                          name=program_name)
+        self.bpf.verify_program(program)
+        fd = yield from self.kernel.sys_open(state.proc, path)
+        yield from self.bpf.install(state.proc, fd, program, hook=hook,
+                                    block_size=block_size,
+                                    scratch_size=scratch_size)
+        chain_id = self._next_chain_id
+        self._next_chain_id += 1
+        state.chains[chain_id] = fd
+        return wire.encode_install_chain_reply(chain_id)
+
+    def _op_exec_chain(self, state: _ClientState, body: bytes):
+        chain_id, offset, length, args = wire.decode_exec_chain(body)
+        fd = state.chains.get(chain_id)
+        if fd is None:
+            raise InvalidArgument(f"unknown chain id {chain_id}")
+        result = yield from self.bpf.read_chain_robust(
+            state.proc, fd, offset, length, args=args)
+        return wire.encode_exec_chain_reply(
+            str(result.status.value if hasattr(result.status, "value")
+                else result.status),
+            result.hops, result.value, result.value2, result.data)

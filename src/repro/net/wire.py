@@ -1,0 +1,291 @@
+"""Wire format: length-prefixed frames and per-op message codecs.
+
+Every message on a link is one *frame*::
+
+    u32  length of the rest of the frame (big-endian, like every field)
+    u16  magic (0xB7F5)
+    u8   op — OP_* constant; replies set the high REPLY bit
+    u8   status — STATUS_OK or an errno-style refusal code
+    u64  request id — client-assigned, echoed in the reply, and the key
+         for the target's idempotent dedup cache
+    ...  op-specific body
+
+Bodies are packed with :mod:`struct`; variable-length fields carry a
+length prefix (`u16` for strings, `u32` for byte buffers).  The
+INSTALL_CHAIN body ships the program in the real 8-byte eBPF slot
+encoding from :mod:`repro.ebpf.isa`, so what crosses the simulated wire
+is exactly what would cross a real one — and the target must decode and
+re-verify it, trusting nothing about the client's toolchain.
+
+Error replies carry ``status != STATUS_OK`` and a UTF-8 reason as the
+body; :func:`raise_for_status` turns them back into the typed errors of
+:mod:`repro.errors` on the client side.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.ebpf.isa import Instruction
+from repro.ebpf.isa import decode as decode_instructions
+from repro.ebpf.isa import encode as encode_instructions
+from repro.errors import FramingError, RemoteError, RemoteVerifierRejected
+
+__all__ = [
+    "MAGIC",
+    "OP_EXEC_CHAIN",
+    "OP_INSTALL_CHAIN",
+    "OP_NAMES",
+    "OP_READ",
+    "OP_WRITE",
+    "REPLY",
+    "STATUS_NAMES",
+    "STATUS_OK",
+    "decode_exec_chain",
+    "decode_exec_chain_reply",
+    "decode_frame",
+    "decode_install_chain",
+    "decode_install_chain_reply",
+    "decode_read",
+    "decode_read_reply",
+    "decode_write",
+    "decode_write_reply",
+    "encode_exec_chain",
+    "encode_exec_chain_reply",
+    "encode_frame",
+    "encode_install_chain",
+    "encode_install_chain_reply",
+    "encode_read",
+    "encode_read_reply",
+    "encode_write",
+    "encode_write_reply",
+    "raise_for_status",
+    "status_for_errno",
+]
+
+MAGIC = 0xB7F5
+_HEADER = struct.Struct("!HBBQ")
+
+OP_READ = 1
+OP_WRITE = 2
+OP_INSTALL_CHAIN = 3
+OP_EXEC_CHAIN = 4
+#: High bit of the op byte marks a reply frame.
+REPLY = 0x80
+
+OP_NAMES = {OP_READ: "read", OP_WRITE: "write",
+            OP_INSTALL_CHAIN: "install_chain", OP_EXEC_CHAIN: "exec_chain"}
+
+STATUS_OK = 0
+#: Refusal codes, one per errno name the target can send back.
+STATUS_NAMES = {0: "OK", 1: "EVERIFY", 2: "ENOENT", 3: "EINVAL", 4: "EIO",
+                5: "ECHAINLIM", 6: "ENOPROG", 7: "EBADMSG", 8: "EREMOTE"}
+_ERRNO_TO_STATUS = {name: code for code, name in STATUS_NAMES.items()}
+
+
+def status_for_errno(errno_name: str) -> int:
+    """The wire status for an errno name (EREMOTE for unknown ones)."""
+    return _ERRNO_TO_STATUS.get(errno_name, _ERRNO_TO_STATUS["EREMOTE"])
+
+
+def raise_for_status(status: int, reason: str) -> None:
+    """Re-raise a refusal reply as its typed client-side error."""
+    if status == STATUS_OK:
+        return
+    errno_name = STATUS_NAMES.get(status, "EREMOTE")
+    if errno_name == "EVERIFY":
+        raise RemoteVerifierRejected(errno_name, reason)
+    raise RemoteError(errno_name, reason)
+
+
+# ---------------------------------------------------------------------------
+# Frame envelope
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(op: int, request_id: int, body: bytes = b"",
+                 status: int = STATUS_OK) -> bytes:
+    header = _HEADER.pack(MAGIC, op, status, request_id)
+    return struct.pack("!I", len(header) + len(body)) + header + body
+
+
+def decode_frame(frame: bytes) -> Tuple[int, int, int, bytes]:
+    """``frame`` -> (op, status, request_id, body); validates the envelope."""
+    if len(frame) < 4 + _HEADER.size:
+        raise FramingError(f"short frame ({len(frame)} bytes)")
+    (length,) = struct.unpack_from("!I", frame, 0)
+    if length != len(frame) - 4:
+        raise FramingError(
+            f"length prefix {length} != {len(frame) - 4} payload bytes")
+    magic, op, status, request_id = _HEADER.unpack_from(frame, 4)
+    if magic != MAGIC:
+        raise FramingError(f"bad magic 0x{magic:04x}")
+    if op & ~REPLY not in OP_NAMES:
+        raise FramingError(f"unknown op {op & ~REPLY}")
+    return op, status, request_id, frame[4 + _HEADER.size:]
+
+
+# ---------------------------------------------------------------------------
+# Body packing primitives
+# ---------------------------------------------------------------------------
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack("!H", len(raw)) + raw
+
+
+def _pack_bytes(data: bytes) -> bytes:
+    return struct.pack("!I", len(data)) + data
+
+
+class _Cursor:
+    """Sequential reader over a body with short-read checking."""
+
+    def __init__(self, body: bytes):
+        self.body = body
+        self.pos = 0
+
+    def take(self, fmt: str) -> tuple:
+        size = struct.calcsize(fmt)
+        if self.pos + size > len(self.body):
+            raise FramingError("truncated body")
+        values = struct.unpack_from(fmt, self.body, self.pos)
+        self.pos += size
+        return values
+
+    def take_str(self) -> str:
+        (length,) = self.take("!H")
+        return self.take_raw(length).decode("utf-8")
+
+    def take_bytes(self) -> bytes:
+        (length,) = self.take("!I")
+        return self.take_raw(length)
+
+    def take_raw(self, length: int) -> bytes:
+        if self.pos + length > len(self.body):
+            raise FramingError("truncated body")
+        raw = self.body[self.pos:self.pos + length]
+        self.pos += length
+        return raw
+
+
+# ---------------------------------------------------------------------------
+# READ / WRITE
+# ---------------------------------------------------------------------------
+
+
+def encode_read(path: str, offset: int, length: int) -> bytes:
+    return _pack_str(path) + struct.pack("!QI", offset, length)
+
+
+def decode_read(body: bytes) -> Tuple[str, int, int]:
+    cursor = _Cursor(body)
+    path = cursor.take_str()
+    offset, length = cursor.take("!QI")
+    return path, offset, length
+
+
+def encode_read_reply(data: bytes) -> bytes:
+    return _pack_bytes(data)
+
+
+def decode_read_reply(body: bytes) -> bytes:
+    return _Cursor(body).take_bytes()
+
+
+def encode_write(path: str, offset: int, data: bytes) -> bytes:
+    return _pack_str(path) + struct.pack("!Q", offset) + _pack_bytes(data)
+
+
+def decode_write(body: bytes) -> Tuple[str, int, bytes]:
+    cursor = _Cursor(body)
+    path = cursor.take_str()
+    (offset,) = cursor.take("!Q")
+    return path, offset, cursor.take_bytes()
+
+
+def encode_write_reply(written: int) -> bytes:
+    return struct.pack("!I", written)
+
+
+def decode_write_reply(body: bytes) -> int:
+    return _Cursor(body).take("!I")[0]
+
+
+# ---------------------------------------------------------------------------
+# INSTALL_CHAIN / EXEC_CHAIN
+# ---------------------------------------------------------------------------
+
+
+def encode_install_chain(path: str, hook: str, block_size: int,
+                         scratch_size: int, program_name: str,
+                         instructions: List[Instruction]) -> bytes:
+    return (_pack_str(path) + _pack_str(hook) +
+            struct.pack("!II", block_size, scratch_size) +
+            _pack_str(program_name) +
+            _pack_bytes(encode_instructions(instructions)))
+
+
+def decode_install_chain(body: bytes,
+                         ) -> Tuple[str, str, int, int, str,
+                                    List[Instruction]]:
+    cursor = _Cursor(body)
+    path = cursor.take_str()
+    hook = cursor.take_str()
+    block_size, scratch_size = cursor.take("!II")
+    program_name = cursor.take_str()
+    instructions = decode_instructions(cursor.take_bytes())
+    return path, hook, block_size, scratch_size, program_name, instructions
+
+
+def encode_install_chain_reply(chain_id: int) -> bytes:
+    return struct.pack("!I", chain_id)
+
+
+def decode_install_chain_reply(body: bytes) -> int:
+    return _Cursor(body).take("!I")[0]
+
+
+def encode_exec_chain(chain_id: int, offset: int, length: int,
+                      args: Tuple[int, ...]) -> bytes:
+    out = struct.pack("!IQIB", chain_id, offset, length, len(args))
+    for arg in args:
+        out += struct.pack("!Q", arg & 0xFFFFFFFFFFFFFFFF)
+    return out
+
+
+def decode_exec_chain(body: bytes) -> Tuple[int, int, int, Tuple[int, ...]]:
+    cursor = _Cursor(body)
+    chain_id, offset, length, nargs = cursor.take("!IQIB")
+    args = tuple(cursor.take("!Q")[0] for _ in range(nargs))
+    return chain_id, offset, length, args
+
+
+_HAS_VALUE = 0x1
+_HAS_VALUE2 = 0x2
+
+
+def encode_exec_chain_reply(chain_status: str, hops: int,
+                            value: Optional[int], value2: Optional[int],
+                            data: bytes) -> bytes:
+    flags = ((_HAS_VALUE if value is not None else 0) |
+             (_HAS_VALUE2 if value2 is not None else 0))
+    out = _pack_str(chain_status) + struct.pack("!IB", hops, flags)
+    if value is not None:
+        out += struct.pack("!Q", value & 0xFFFFFFFFFFFFFFFF)
+    if value2 is not None:
+        out += struct.pack("!Q", value2 & 0xFFFFFFFFFFFFFFFF)
+    return out + _pack_bytes(data)
+
+
+def decode_exec_chain_reply(body: bytes,
+                            ) -> Tuple[str, int, Optional[int],
+                                       Optional[int], bytes]:
+    cursor = _Cursor(body)
+    chain_status = cursor.take_str()
+    hops, flags = cursor.take("!IB")
+    value = cursor.take("!Q")[0] if flags & _HAS_VALUE else None
+    value2 = cursor.take("!Q")[0] if flags & _HAS_VALUE2 else None
+    return chain_status, hops, value, value2, cursor.take_bytes()

@@ -87,6 +87,17 @@ event type                emitted by / meaning
                           ``seq``, ``bytes``, ``trimmed_sectors``.
 ``fsck_report``           the invariant checker ran; ``checks``,
                           ``violations``.
+``net_rpc_send``          a frame entered the network fabric; ``op``,
+                          ``request_id``, ``bytes``, ``side``
+                          ("client"/"target"), ``attempt``, ``inflight``
+                          (client RPCs awaiting replies at emit time).
+``net_rpc_recv``          a frame was delivered to an endpoint; ``op``,
+                          ``request_id``, ``bytes``, ``side``, ``dup``
+                          (the target saw this request id before and
+                          re-sent the cached reply).
+``net_retry``             a client RPC timed out and was retransmitted
+                          with the same request id; ``op``,
+                          ``request_id``, ``attempt``, ``backoff_ns``.
 ========================  =====================================================
 """
 
@@ -119,6 +130,9 @@ __all__ = [
     "JOURNAL_CHECKPOINT",
     "JOURNAL_COMMIT",
     "JOURNAL_REPLAY",
+    "NET_RETRY",
+    "NET_RPC_RECV",
+    "NET_RPC_SEND",
     "NVME_COMPLETE",
     "NVME_FLUSH",
     "NVME_RETRY",
@@ -166,6 +180,9 @@ JOURNAL_COMMIT = "journal_commit"
 JOURNAL_REPLAY = "journal_replay"
 JOURNAL_CHECKPOINT = "journal_checkpoint"
 FSCK_REPORT = "fsck_report"
+NET_RPC_SEND = "net_rpc_send"
+NET_RPC_RECV = "net_rpc_recv"
+NET_RETRY = "net_retry"
 
 
 class TraceEvent:

@@ -205,6 +205,14 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
     ``journal_txns_total`` (by outcome: committed/replayed/discarded),
     ``journal_checkpoints_total``, ``fsck_runs_total``, and
     ``fsck_violations_total``.
+
+    Network metrics (from the ``net_*`` tracepoints): ``net_rpcs_total``
+    (client-issued RPC frames by op, retransmissions included),
+    ``net_bytes_total`` (fabric bytes by direction — ``c2s`` for
+    client-sent frames, ``s2c`` for target-sent replies),
+    ``net_inflight`` gauge (client RPCs awaiting replies, carried on the
+    send/recv events so the subscriber never guesses), and
+    ``net_retries_total`` (timed-out RPCs retransmitted, by op).
     """
     syscalls = registry.counter("syscalls_total", "Syscall entries by op")
     hops = registry.counter("chain_hops_total", "Completed chain hops")
@@ -337,3 +345,30 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
             fsck_viol.inc(violations)
 
     bus.subscribe(_on_fsck, ev.FSCK_REPORT)
+
+    # -- network (repro.net) --------------------------------------------
+    net_rpcs = registry.counter("net_rpcs_total",
+                                "Client-issued RPC frames by op")
+    net_bytes = registry.counter("net_bytes_total",
+                                 "Fabric bytes moved, by direction")
+    net_inflight = registry.gauge("net_inflight",
+                                  "Client RPCs awaiting replies")
+    net_retries = registry.counter("net_retries_total",
+                                   "Timed-out RPCs retransmitted, by op")
+
+    def _on_net_send(event: TraceEvent) -> None:
+        side = event.get("side", "client")
+        if side == "client":
+            net_rpcs.inc(op=event.get("op", "?"))
+            net_inflight.set(event.get("inflight", 0))
+        net_bytes.inc(event.get("bytes", 0),
+                      direction="c2s" if side == "client" else "s2c")
+
+    def _on_net_recv(event: TraceEvent) -> None:
+        if event.get("side", "client") == "client":
+            net_inflight.set(event.get("inflight", 0))
+
+    bus.subscribe(_on_net_send, ev.NET_RPC_SEND)
+    bus.subscribe(_on_net_recv, ev.NET_RPC_RECV)
+    bus.subscribe(lambda e: net_retries.inc(op=e.get("op", "?")),
+                  ev.NET_RETRY)

@@ -20,8 +20,19 @@ def test_experiment_quick_runs(capsys):
 def test_experiment_names_all_registered():
     expected = {"fig1", "table1", "fig3a", "fig3b", "fig3c", "fig3d",
                 "stability", "bound", "churn", "vmmode", "appcache",
-                "interference", "resilience", "crash", "scale"}
+                "interference", "resilience", "crash", "scale",
+                "pushdown"}
     assert set(_EXPERIMENTS) == expected
+
+
+def test_experiment_shorthand_runs_pushdown(capsys):
+    # ``python -m repro pushdown`` == ``python -m repro experiment
+    # pushdown`` — the top-level name shorthand picks up experiments
+    # registered through the shared subparser helper.
+    assert main(["pushdown", "--quick", "--json"]) == 0
+    out = capsys.readouterr().out
+    assert '"speedup"' in out
+    assert '"pushdown_rpcs_per_get": 1.0' in out
 
 
 def test_unknown_experiment_rejected():

@@ -1,0 +1,34 @@
+"""Every script under ``examples/`` must actually run.
+
+The examples double as documentation; a stale import or API drift in
+one of them is a user-facing bug even when the library tests pass.
+Each script is executed in-process with :func:`runpy.run_path` under
+``__name__ == "__main__"``, exactly as ``python examples/<name>.py``
+would, with stdout captured so a run stays quiet unless it fails.
+"""
+
+import io
+import runpy
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs(path):
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        namespace = runpy.run_path(str(path), run_name="__main__")
+    # Each example prints a report and documents itself.
+    assert captured.getvalue().strip(), f"{path.name} printed nothing"
+    assert namespace.get("__doc__"), f"{path.name} has no docstring"

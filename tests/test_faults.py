@@ -13,6 +13,8 @@ from chainutil import build_machine, install_walker, linked_file_bytes
 from repro.device import NvmeCommand
 from repro.errors import InvalidArgument, IoError
 from repro.faults import (
+    FAULT_NET_DELAY,
+    FAULT_NET_DROP,
     FAULT_STALE,
     FAULT_TIMEOUT,
     FAULT_TRANSIENT,
@@ -503,3 +505,90 @@ def test_same_seed_same_power_loss_identical_recovery(tmp_path):
     first, second = (p.read_bytes() for p in paths)
     assert first == second
     assert len(first) > 0
+
+
+# ---------------------------------------------------------------------------
+# Network fault episodes (consumed by repro.net.fabric)
+# ---------------------------------------------------------------------------
+
+
+def test_spec_rejects_bad_net_fields():
+    with pytest.raises(InvalidArgument, match="net_drop_rate"):
+        FaultSpec(net_drop_rate=1.5)
+    with pytest.raises(InvalidArgument, match="net fault rates"):
+        FaultSpec(net_drop_rate=0.7, net_delay_rate=0.5)
+    with pytest.raises(InvalidArgument, match="net_drop_burst"):
+        FaultSpec(net_drop_rate=0.1, net_drop_burst=0)
+    with pytest.raises(InvalidArgument, match="net_delay_ns"):
+        FaultSpec(net_delay_rate=0.1, net_delay_ns=-1)
+
+
+def test_net_fields_parse_and_arm_any_faults():
+    spec = parse_fault_spec("seed=5, net_drop_rate=0.25, net_drop_burst=3,"
+                            "net_delay_rate=0.1, net_delay_ns=75000")
+    assert spec == FaultSpec(seed=5, net_drop_rate=0.25, net_drop_burst=3,
+                             net_delay_rate=0.1, net_delay_ns=75_000)
+    assert isinstance(spec.net_drop_burst, int)
+    assert isinstance(spec.net_delay_ns, int)
+    assert spec.any_net_faults() and spec.any_faults()
+    # Net-only specs arm any_faults() without arming media retries.
+    media_only = FaultSpec(read_error_rate=0.1)
+    assert not media_only.any_net_faults() and media_only.any_faults()
+
+
+def test_net_drop_episode_burst_then_guaranteed_delivery():
+    plan = FaultPlan(FaultSpec(net_drop_rate=1.0, net_drop_burst=3))
+    key = ("client/c2s", 7)
+    fates = [plan.net_decision(key, 0) for _ in range(5)]
+    # The frame and two retransmissions are lost, then the cooldown
+    # guarantees the next attempt through, then a fresh episode begins.
+    assert fates == [FAULT_NET_DROP] * 3 + [None, FAULT_NET_DROP]
+    assert plan.injected[FAULT_NET_DROP] == 4
+    # Another request id on the same link is its own episode.
+    assert plan.net_decision(("client/c2s", 8), 0) == FAULT_NET_DROP
+
+
+def test_net_delay_is_partitioned_from_drop():
+    plan = FaultPlan(FaultSpec(net_delay_rate=1.0, net_delay_ns=5_000))
+    fates = [plan.net_decision(("wire", rid), 0) for rid in range(4)]
+    assert fates == [FAULT_NET_DELAY] * 4
+    assert plan.injected[FAULT_NET_DELAY] == 4
+    assert plan.injected[FAULT_NET_DROP] == 0
+
+
+def test_net_window_gates_draws():
+    spec = FaultSpec(net_drop_rate=1.0, window_start_ns=1000,
+                     window_end_ns=2000)
+    plan = FaultPlan(spec)
+    key = ("wire", 1)
+    assert plan.net_decision(key, 0) is None
+    assert plan.net_decision(key, 1500) == FAULT_NET_DROP
+    # The in-window episode's cooldown is consumed...
+    assert plan.net_decision(key, 1600) is None
+    # ...and past the window nothing is drawn at all.
+    assert plan.net_decision(key, 2500) is None
+
+
+def test_net_stream_is_independent_of_media_stream():
+    media_spec = FaultSpec(seed=11, read_error_rate=0.2)
+    both_spec = FaultSpec(seed=11, read_error_rate=0.2, net_drop_rate=0.3,
+                          net_delay_rate=0.3)
+
+    def media_sequence(spec):
+        plan = FaultPlan(spec, kernel_seed=4)
+        out = []
+        for lba in range(100):
+            out.append(plan.media_decision(read_cmd(lba % 7), lba * 10))
+            # Interleave net draws; they must not perturb media fates.
+            plan.net_decision(("wire", lba), lba * 10)
+        return out
+
+    assert media_sequence(media_spec) == media_sequence(both_spec)
+
+    def net_sequence(kernel_seed):
+        plan = FaultPlan(both_spec, kernel_seed=kernel_seed)
+        return [plan.net_decision(("wire", rid), rid * 10)
+                for rid in range(100)]
+
+    assert net_sequence(4) == net_sequence(4)
+    assert net_sequence(4) != net_sequence(5)

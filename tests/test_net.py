@@ -1,0 +1,502 @@
+"""repro.net: wire codecs, transport reliability, target ops, pushdown.
+
+Covers the frame envelope and per-op codecs (round trips + hostile
+input), plain remote I/O, the BPF-oF acceptance criteria (server-side
+re-verification refusing unsafe programs with a typed error; pushdown
+beating naive by ~the hop count at high RTT; one EXEC_CHAIN RPC vs
+depth READ RPCs), drop recovery with request-id dedup (exactly-once
+execution), the bounded in-flight window, and determinism.
+"""
+
+import pytest
+
+from repro.bench.runner import NVM2_BENCH, choose_fanout
+from repro.core.hooks import storage_ctx_layout
+from repro.core.library import index_traversal_program
+from repro.ebpf import Program, assemble
+from repro.ebpf.isa import encode as encode_instructions
+from repro.errors import (
+    FramingError,
+    InvalidArgument,
+    RemoteError,
+    RemoteVerifierRejected,
+    RpcTimeout,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.kernel import KernelConfig
+from repro.net import (
+    Connection,
+    NetConfig,
+    NetworkFabric,
+    RemoteClient,
+    StorageTarget,
+    wire,
+)
+from repro.sim import Simulator
+from repro.structures import BTree, FsBackend
+from repro.structures.pages import PAGE_SIZE
+
+
+def build_rig(rtt_us=20, seed=7, plan=None, **conn_kwargs):
+    """One client <-> one target over a fresh fabric; returns the parts."""
+    sim = Simulator()
+    target = StorageTarget(sim, model=NVM2_BENCH,
+                           config=KernelConfig(cores=4, seed=seed))
+    fabric = NetworkFabric(sim, NetConfig(one_way_ns=rtt_us * 1000 // 2,
+                                          seed=seed), plan=plan)
+    connection = Connection(fabric, "client", **conn_kwargs)
+    target.attach(connection)
+    return sim, target, fabric, connection, RemoteClient(connection)
+
+
+def build_tree(target, depth):
+    """A depth-``depth`` B-tree at ``/index``; returns (root, fanout, n)."""
+    fanout = choose_fanout(depth)
+    num_keys = BTree.keys_for_depth(depth, fanout)
+    inode = target.kernel.fs.create("/index")
+    items = [(key * 3 + 1, key) for key in range(num_keys)]
+    tree = BTree.build(FsBackend(target.kernel.fs, inode), items,
+                       fanout=fanout)
+    assert tree.depth == depth
+    return tree.meta.root_offset, fanout, num_keys
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+
+def test_frame_roundtrip():
+    frame = wire.encode_frame(wire.OP_READ, 42, b"body")
+    op, status, request_id, body = wire.decode_frame(frame)
+    assert (op, status, request_id, body) == (wire.OP_READ, wire.STATUS_OK,
+                                              42, b"body")
+    reply = wire.encode_frame(wire.OP_READ | wire.REPLY, 42, b"nope",
+                              status=wire.status_for_errno("EIO"))
+    op, status, request_id, body = wire.decode_frame(reply)
+    assert op & wire.REPLY
+    assert wire.STATUS_NAMES[status] == "EIO"
+
+
+def test_frame_rejects_hostile_input():
+    good = wire.encode_frame(wire.OP_WRITE, 1, b"x")
+    with pytest.raises(FramingError, match="short"):
+        wire.decode_frame(good[:10])
+    with pytest.raises(FramingError, match="length prefix"):
+        wire.decode_frame(good + b"trailing")
+    bad_magic = good[:4] + b"\x00\x00" + good[6:]
+    with pytest.raises(FramingError, match="magic"):
+        wire.decode_frame(bad_magic)
+    bad_op = good[:6] + bytes([0x55]) + good[7:]
+    with pytest.raises(FramingError, match="unknown op"):
+        wire.decode_frame(bad_op)
+
+
+def test_op_codecs_roundtrip():
+    assert wire.decode_read(wire.encode_read("/a", 4096, 512)) == \
+        ("/a", 4096, 512)
+    assert wire.decode_write(wire.encode_write("/a", 8192, b"hi")) == \
+        ("/a", 8192, b"hi")
+    assert wire.decode_read_reply(wire.encode_read_reply(b"data")) == b"data"
+    assert wire.decode_write_reply(wire.encode_write_reply(7)) == 7
+
+    instructions = assemble("mov r0, 0\nexit")
+    body = wire.encode_install_chain("/index", "nvme", 4096, 256, "walk",
+                                     instructions)
+    path, hook, block, scratch, name, decoded = wire.decode_install_chain(
+        body)
+    assert (path, hook, block, scratch, name) == ("/index", "nvme", 4096,
+                                                  256, "walk")
+    assert encode_instructions(decoded) == encode_instructions(instructions)
+
+    assert wire.decode_exec_chain(
+        wire.encode_exec_chain(3, 8192, 4096, (10, 20))) == \
+        (3, 8192, 4096, (10, 20))
+
+
+def test_exec_chain_reply_optional_values():
+    both = wire.encode_exec_chain_reply("ok", 4, 99, 1, b"page")
+    assert wire.decode_exec_chain_reply(both) == ("ok", 4, 99, 1, b"page")
+    neither = wire.encode_exec_chain_reply("error", 1, None, None, b"")
+    assert wire.decode_exec_chain_reply(neither) == ("error", 1, None,
+                                                     None, b"")
+
+
+def test_truncated_body_is_a_framing_error():
+    body = wire.encode_exec_chain(3, 8192, 4096, (10, 20))
+    with pytest.raises(FramingError, match="truncated"):
+        wire.decode_exec_chain(body[:-3])
+    with pytest.raises(FramingError, match="truncated"):
+        wire.decode_read(b"\x00\xffway too short")
+
+
+def test_status_mapping():
+    assert wire.status_for_errno("EVERIFY") == 1
+    assert wire.STATUS_NAMES[wire.status_for_errno("ETOTALLYMADEUP")] == \
+        "EREMOTE"
+    wire.raise_for_status(wire.STATUS_OK, "")
+    with pytest.raises(RemoteVerifierRejected, match="loops"):
+        wire.raise_for_status(1, "program loops")
+    with pytest.raises(RemoteError, match="gone"):
+        wire.raise_for_status(wire.status_for_errno("ENOENT"), "gone")
+
+
+# ---------------------------------------------------------------------------
+# Plain remote I/O
+# ---------------------------------------------------------------------------
+
+
+def test_remote_write_then_read():
+    sim, target, _fabric, connection, client = build_rig()
+    target.create_file("/data", bytes(8192))
+    payload = bytes(range(256)) * 2
+
+    def workload():
+        written = yield from client.write("/data", 512, payload)
+        data = yield from client.read("/data", 512, 512)
+        return written, data
+
+    start = sim.now
+    written, data = sim.run_process(workload())
+    assert written == len(payload)
+    assert data == payload
+    assert target.executed == {"write": 1, "read": 1}
+    # Each RPC pays at least one round trip of propagation.
+    assert sim.now - start >= 2 * 20_000
+
+
+def test_remote_errors_are_typed_not_crashes():
+    sim, target, _fabric, _connection, client = build_rig()
+    target.create_file("/data", bytes(8192))
+
+    def missing():
+        yield from client.read("/nope", 0, 512)
+
+    with pytest.raises(RemoteError) as excinfo:
+        sim.run_process(missing())
+    assert excinfo.value.remote_errno == "ENOENT"
+
+    def unaligned():
+        yield from client.read("/data", 0, 64)
+
+    with pytest.raises(RemoteError) as excinfo:
+        sim.run_process(unaligned())
+    assert excinfo.value.remote_errno == "EINVAL"
+    assert target.refused == {"ENOENT": 1, "EINVAL": 1}
+
+    # The target is still alive and serving after both refusals.
+    def recheck():
+        return (yield from client.read("/data", 0, 512))
+
+    assert sim.run_process(recheck()) == bytes(512)
+
+
+def test_target_rejects_duplicate_attach():
+    sim, target, fabric, connection, _client = build_rig()
+    with pytest.raises(InvalidArgument, match="already attached"):
+        target.attach(connection)
+
+
+# ---------------------------------------------------------------------------
+# INSTALL_CHAIN: server-side re-verification
+# ---------------------------------------------------------------------------
+
+
+def test_unsafe_program_is_refused_with_reason():
+    sim, target, _fabric, _connection, client = build_rig()
+    build_tree(target, depth=2)
+    good = index_traversal_program()
+    bad = Program(assemble("mov r0, r7\nexit"),
+                  storage_ctx_layout(PAGE_SIZE, 256), name="evil")
+
+    def install_bad():
+        yield from client.install_chain("/index", bad)
+
+    with pytest.raises(RemoteVerifierRejected) as excinfo:
+        sim.run_process(install_bad())
+    assert "uninitialised" in excinfo.value.reason
+    assert target.refused == {"EVERIFY": 1}
+    assert target.executed.get("install_chain") is None
+
+    # The refusal did not take the target down: a good program installs
+    # and executes afterwards over the same connection.
+    def install_good():
+        chain_id = yield from client.install_chain("/index", good)
+        return chain_id
+
+    assert sim.run_process(install_good()) == 1
+    assert target.executed["install_chain"] == 1
+
+
+def test_exec_unknown_chain_id_is_refused():
+    sim, _target, _fabric, _connection, client = build_rig()
+
+    def workload():
+        yield from client.exec_chain(99, 0, PAGE_SIZE, args=(1,))
+
+    with pytest.raises(RemoteError) as excinfo:
+        sim.run_process(workload())
+    assert excinfo.value.remote_errno == "EINVAL"
+
+
+# ---------------------------------------------------------------------------
+# Naive vs pushdown GETs
+# ---------------------------------------------------------------------------
+
+
+def test_pushdown_beats_naive_by_hop_count_shape():
+    depth, rtt_us = 4, 20
+    sim, target, _fabric, connection, client = build_rig(rtt_us=rtt_us)
+    root, fanout, num_keys = build_tree(target, depth)
+    program = index_traversal_program(fanout=fanout)
+    keys = [key * 3 + 1 for key in (0, num_keys // 2, num_keys - 1)]
+    latencies = {"naive": [], "pushdown": []}
+
+    def workload():
+        chain_id = yield from client.install_chain("/index", program)
+        for mode in ("naive", "pushdown"):
+            for key in keys:
+                start = sim.now
+                value, found, rpcs = yield from client.remote_btree_get(
+                    key, mode=mode, path="/index", root_offset=root,
+                    chain_id=chain_id)
+                assert found and value == (key - 1) // 3
+                assert rpcs == (depth if mode == "naive" else 1)
+                latencies[mode].append(sim.now - start)
+
+    sim.run_process(workload())
+    # RPC accounting: depth READs per naive GET, one EXEC_CHAIN per
+    # pushdown GET (these are the client-issued frames, not retries).
+    assert connection.rpcs_sent["read"] == depth * len(keys)
+    assert connection.rpcs_sent["exec_chain"] == len(keys)
+    naive_mean = sum(latencies["naive"]) / len(keys)
+    push_mean = sum(latencies["pushdown"]) / len(keys)
+    # Acceptance criterion: >= 2x at RTT >= 20 us and depth >= 4.
+    assert naive_mean >= 2.0 * push_mean
+    # A miss is still answered (found=False) rather than erroring.
+
+    def miss():
+        return (yield from client.remote_btree_get(
+            0, mode="naive", path="/index", root_offset=root))
+
+    value, found, _rpcs = sim.run_process(miss())
+    assert (value, found) == (None, False)
+
+
+def test_remote_btree_get_validates_arguments():
+    _sim, _target, _fabric, _connection, client = build_rig()
+    with pytest.raises(ValueError, match="path"):
+        next(client.remote_btree_get(1, mode="naive"))
+    with pytest.raises(ValueError, match="chain_id"):
+        next(client.remote_btree_get(1, mode="pushdown"))
+    with pytest.raises(ValueError, match="unknown mode"):
+        next(client.remote_btree_get(1, mode="psychic"))
+
+
+# ---------------------------------------------------------------------------
+# Loss, retry, and exactly-once execution
+# ---------------------------------------------------------------------------
+
+
+def test_drop_recovery_executes_exactly_once():
+    # Every frame's first transmission drops (rate 1.0, burst 1), then
+    # the per-(link, request-id) cooldown guarantees the retransmission
+    # gets through — so recovery is deterministic regardless of seed.
+    plan = FaultPlan(FaultSpec(seed=3, net_drop_rate=1.0), kernel_seed=3)
+    sim, target, _fabric, connection, client = build_rig(plan=plan)
+    target.create_file("/data", bytes(8192))
+
+    def workload():
+        written = yield from client.write("/data", 0, b"x" * 512)
+        data = yield from client.read("/data", 0, 512)
+        return written, data
+
+    written, data = sim.run_process(workload())
+    assert written == 512
+    assert data == b"x" * 512
+    # Loss happened and was recovered by retransmission...
+    assert connection.retries > 0
+    assert connection.c2s.frames_dropped + connection.s2c.frames_dropped > 0
+    # ...but each op executed exactly once: the duplicate requests that
+    # raced a lost *reply* were answered from the dedup cache.
+    assert target.executed == {"write": 1, "read": 1}
+    assert connection.dedup_hits > 0
+
+
+def test_persistent_loss_raises_rpc_timeout():
+    plan = FaultPlan(FaultSpec(seed=3, net_drop_rate=1.0,
+                               net_drop_burst=1_000_000), kernel_seed=3)
+    sim, target, _fabric, connection, client = build_rig(
+        plan=plan, max_retries=2)
+    target.create_file("/data", bytes(8192))
+
+    def workload():
+        yield from client.read("/data", 0, 512)
+
+    with pytest.raises(RpcTimeout, match="3 attempts"):
+        sim.run_process(workload())
+    assert target.executed == {}
+
+
+def test_net_delay_slows_but_does_not_break():
+    plan = FaultPlan(FaultSpec(seed=3, net_delay_rate=1.0,
+                               net_delay_ns=100_000), kernel_seed=3)
+    sim, target, _fabric, connection, client = build_rig(plan=plan)
+    target.create_file("/data", bytes(8192))
+
+    def workload():
+        return (yield from client.read("/data", 0, 512))
+
+    start = sim.now
+    assert sim.run_process(workload()) == bytes(512)
+    # Request and reply frames each held 100 us beyond the base RTT.
+    assert sim.now - start >= 2 * 100_000 + 20_000
+    assert connection.c2s.frames_delayed == 1
+    assert connection.s2c.frames_delayed == 1
+    assert connection.retries == 0
+
+
+# ---------------------------------------------------------------------------
+# Flow control and fabric behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_inflight_window_bounds_concurrency():
+    sim, target, _fabric, connection, client = build_rig(window=2)
+    target.create_file("/data", bytes(64 * 1024))
+    done = []
+
+    def one(index):
+        data = yield from client.read("/data", index * 512, 512)
+        done.append((index, len(data)))
+
+    for index in range(6):
+        sim.spawn(one(index), name=f"get-{index}")
+    sim.run(until=50_000_000)
+    assert len(done) == 6
+    assert connection.max_inflight == 2
+
+
+def test_serialization_queues_behind_earlier_frames():
+    config = NetConfig(one_way_ns=0, gbit_per_s=1.0)  # 8 ns per byte
+    assert config.serialize_ns(1000) == 8000
+    sim = Simulator()
+    fabric = NetworkFabric(sim, config)
+    link = fabric.new_link("wire")
+    arrivals = []
+    link.deliver = lambda frame: arrivals.append((sim.now, len(frame)))
+    fabric.transmit(link, bytes(1000))
+    fabric.transmit(link, bytes(1000))
+    sim.run(until=100_000)
+    # The second frame waits for the first to clock out: 8 us then 16 us.
+    assert arrivals == [(8000, 1000), (16000, 1000)]
+    assert link.bytes_sent == 2000
+
+
+def test_net_config_validation():
+    with pytest.raises(InvalidArgument, match="one_way_ns"):
+        NetConfig(one_way_ns=-1)
+    with pytest.raises(InvalidArgument, match="gbit_per_s"):
+        NetConfig(gbit_per_s=0)
+    with pytest.raises(InvalidArgument, match="jitter"):
+        NetConfig(jitter=1.5)
+    with pytest.raises(InvalidArgument, match="window"):
+        build_rig(window=0)
+    with pytest.raises(InvalidArgument, match="no receiver"):
+        sim = Simulator()
+        fabric = NetworkFabric(sim, NetConfig())
+        fabric.transmit(fabric.new_link("dangling"), b"frame")
+
+
+def test_jitter_is_deterministic_and_bounded():
+    def run(seed):
+        sim = Simulator()
+        fabric = NetworkFabric(sim, NetConfig(one_way_ns=10_000,
+                                              jitter=0.5, seed=seed))
+        link = fabric.new_link("wire")
+        arrivals = []
+        link.deliver = lambda frame: arrivals.append(sim.now)
+        for _ in range(20):
+            fabric.transmit(link, bytes(100))
+        sim.run(until=10_000_000)
+        return arrivals
+
+    first, second = run(5), run(5)
+    assert first == second
+    assert run(5) != run(6)
+    # Jitter only ever adds: no frame arrives before the base latency.
+    assert all(now >= 10_000 for now in first)
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+def test_remote_workload_is_deterministic():
+    def run():
+        sim, target, _fabric, connection, client = build_rig(rtt_us=10)
+        root, fanout, num_keys = build_tree(target, depth=3)
+        program = index_traversal_program(fanout=fanout)
+        trace = []
+
+        def workload():
+            chain_id = yield from client.install_chain("/index", program)
+            for key in (1, (num_keys // 2) * 3 + 1, (num_keys - 1) * 3 + 1):
+                start = sim.now
+                value, found, _ = yield from client.remote_btree_get(
+                    key, mode="pushdown", chain_id=chain_id,
+                    root_offset=root)
+                trace.append((key, value, found, sim.now - start))
+
+        sim.run_process(workload())
+        return trace, dict(connection.rpcs_sent)
+
+    assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# Observability integration
+# ---------------------------------------------------------------------------
+
+
+def test_net_metrics_account_rpcs_bytes_and_drops():
+    from repro.faults import FAULT_NET_DROP
+    from repro.obs import ObsSession
+
+    plan = FaultPlan(FaultSpec(seed=3, net_drop_rate=1.0), kernel_seed=3)
+    with ObsSession() as obs:
+        sim, target, _fabric, connection, client = build_rig(plan=plan)
+        root, fanout, num_keys = build_tree(target, depth=3)
+        program = index_traversal_program(fanout=fanout)
+
+        def workload():
+            chain_id = yield from client.install_chain("/index", program)
+            for key in (1, (num_keys - 1) * 3 + 1):
+                for mode in ("naive", "pushdown"):
+                    value, found, _ = yield from client.remote_btree_get(
+                        key, mode=mode, path="/index", root_offset=root,
+                        chain_id=chain_id)
+                    assert found and value == (key - 1) // 3
+
+        sim.run_process(workload())
+
+    registry = obs.registry
+    rpcs = registry.get("net_rpcs_total")
+    # Client-issued frames, counted per transmission attempt: under a
+    # first-attempt-always-drops plan they exceed the logical RPC count
+    # but stay consistent with the connection's own counters.
+    assert rpcs.value(op="read") == connection.rpcs_sent["read"]
+    assert rpcs.value(op="exec_chain") == connection.rpcs_sent["exec_chain"]
+    assert rpcs.value(op="install_chain") == \
+        connection.rpcs_sent["install_chain"]
+    assert connection.rpcs_sent["read"] >= 2 * 3     # depth RPCs per GET
+    assert connection.rpcs_sent["exec_chain"] >= 2   # one per pushdown GET
+    net_bytes = registry.get("net_bytes_total")
+    assert net_bytes.value(direction="c2s") > 0
+    assert net_bytes.value(direction="s2c") > 0
+    assert registry.get("net_retries_total").value(op="read") > 0
+    # The fabric's drops land in the shared fault counter by kind.
+    assert registry.get("faults_injected_total").value(
+        kind=FAULT_NET_DROP) > 0
+    assert registry.get("net_inflight").value() == 0

@@ -102,6 +102,32 @@ def test_default_bus_is_disabled_and_workload_emits_nothing():
     assert kernel.bus.events_emitted == 0
 
 
+def test_disabled_bus_noop_holds_with_net_subsystem():
+    """A full remote GET (fabric + transport + target) emits nothing on
+    the default disabled bus — the ``bus.enabled`` guard covers every
+    ``net_rpc_send`` / ``net_rpc_recv`` / ``net_retry`` call site."""
+    from repro.kernel import KernelConfig
+    from repro.net import Connection, NetConfig, NetworkFabric, RemoteClient
+    from repro.net import StorageTarget
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    target = StorageTarget(sim, config=KernelConfig(seed=2))
+    target.create_file("/data", bytes(4096))
+    fabric = NetworkFabric(sim, NetConfig(one_way_ns=10_000))
+    connection = Connection(fabric, "quiet")
+    target.attach(connection)
+    client = RemoteClient(connection)
+
+    def workload():
+        return (yield from client.read("/data", 0, 512))
+
+    assert sim.run_process(workload()) == bytes(512)
+    assert not fabric.bus.enabled
+    assert fabric.bus.events_emitted == 0
+    assert target.kernel.bus.events_emitted == 0
+
+
 def test_observation_does_not_perturb_the_simulation():
     _, kernel_off, bpf_off, proc_off, fd_off = chain_machine()
     plain = run_chain(kernel_off, bpf_off, proc_off, fd_off)
