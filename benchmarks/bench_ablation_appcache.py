@@ -7,17 +7,29 @@ and start the kernel chain below them — each cached level converts one
 device round trip into an in-memory page parse.
 """
 
+import sys
+
+import harness
+
 from repro.bench import ablation_app_cache, format_table
 
 COLUMNS = ["cached_levels", "device_reads_per_lookup", "mean_latency_us"]
 
+FULL = {"depth": 6, "cached_levels": (0, 1, 2, 3, 5), "operations": 150}
+SMOKE = {"depth": 4, "cached_levels": (0, 2), "operations": 20}
+
+
+def check_shape(rows):
+    # Every cached level strictly lowers latency and device reads.
+    latencies = [row["mean_latency_us"] for row in rows]
+    assert all(a > b for a, b in zip(latencies, latencies[1:]))
+    reads = [row["device_reads_per_lookup"] for row in rows]
+    assert all(a > b for a, b in zip(reads, reads[1:]))
+
 
 def test_ablation_app_cache(benchmark):
-    rows = benchmark.pedantic(
-        ablation_app_cache,
-        kwargs={"depth": 6, "cached_levels": (0, 1, 2, 3, 5),
-                "operations": 150},
-        rounds=1, iterations=1)
+    rows = benchmark.pedantic(ablation_app_cache, kwargs=FULL,
+                              rounds=1, iterations=1)
     print()
     print(format_table("Ablation — app-level cache of top index levels",
                        COLUMNS, rows))
@@ -31,3 +43,24 @@ def test_ablation_app_cache(benchmark):
     # Caching five levels saves roughly five device round trips (~2.5 us
     # each on gen-2 Optane).
     assert latencies[0] - latencies[-1] > 8.0
+
+
+SPEC = harness.BenchSpec(
+    name="ablation_appcache",
+    title="Ablation — app-level cache of top index levels",
+    func=ablation_app_cache,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="each cached level lowers latency and device reads",
+    metric_cols=["mean_latency_us", "device_reads_per_lookup"],
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

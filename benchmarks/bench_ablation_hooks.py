@@ -5,15 +5,27 @@ the syscall-dispatch hook, and the NVMe-driver hook — quantifying how much
 each eliminated layer is worth, which is the design argument of §3-§4.
 """
 
+import sys
+
+import harness
+
 from repro.bench import fig3c_latency, format_table
 
 COLUMNS = ["depth", "baseline_us", "syscall_us", "nvme_us",
            "nvme_reduction_pct"]
 
+FULL = {"depths": (6,), "operations": 200}
+SMOKE = {"depths": (6,), "operations": 30}
+
+
+def check_shape(rows):
+    # Each deeper hook strictly improves on the previous path.
+    for row in rows:
+        assert row["nvme_us"] < row["syscall_us"] < row["baseline_us"]
+
 
 def test_ablation_hook_placement(benchmark):
-    rows = benchmark.pedantic(fig3c_latency,
-                              kwargs={"depths": (6,), "operations": 200},
+    rows = benchmark.pedantic(fig3c_latency, kwargs=FULL,
                               rounds=1, iterations=1)
     print()
     print(format_table("Ablation — dispatch path at depth 6", COLUMNS, rows))
@@ -28,3 +40,24 @@ def test_ablation_hook_placement(benchmark):
     nvme_saving = 1 - row["nvme_us"] / row["baseline_us"]
     assert syscall_saving < 0.25
     assert nvme_saving > 0.30
+
+
+SPEC = harness.BenchSpec(
+    name="ablation_hooks",
+    title="Ablation — dispatch path at depth 6",
+    func=fig3c_latency,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="nvme < syscall < baseline latency at every depth",
+    metric_cols=["nvme_reduction_pct", "nvme_us", "baseline_us"],
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,18 +7,31 @@ rates and measures how chain throughput and latency degrade — quantifying
 the "invalidations need to be rare" claim.
 """
 
+import sys
+
+import harness
+
 from repro.bench import ablation_invalidation_rate, format_table
 
 COLUMNS = ["churn_interval_us", "klookups_per_s", "mean_latency_us",
            "invalidations", "refresh_ioctls"]
 
+FULL = {"intervals_us": (None, 5000, 1000, 200), "depth": 4,
+        "duration_ns": 8_000_000}
+SMOKE = {"intervals_us": (None, 1000), "depth": 3,
+         "duration_ns": 2_000_000}
+
+
+def check_shape(rows):
+    # No churn -> no invalidations; churn -> invalidations and slowdown.
+    assert rows[0]["invalidations"] == 0
+    assert rows[-1]["invalidations"] > 0
+    assert rows[-1]["klookups_per_s"] < rows[0]["klookups_per_s"]
+
 
 def test_ablation_invalidation_rate(benchmark):
-    rows = benchmark.pedantic(
-        ablation_invalidation_rate,
-        kwargs={"intervals_us": (None, 5000, 1000, 200),
-                "depth": 4, "duration_ns": 8_000_000},
-        rounds=1, iterations=1)
+    rows = benchmark.pedantic(ablation_invalidation_rate, kwargs=FULL,
+                              rounds=1, iterations=1)
     print()
     print(format_table("Ablation — extent churn vs chain throughput",
                        COLUMNS, rows))
@@ -34,3 +47,25 @@ def test_ablation_invalidation_rate(benchmark):
     assert rows[-1]["klookups_per_s"] < rows[0]["klookups_per_s"]
     # At rare churn (5 ms) the cost is negligible (< 5 %).
     assert rows[1]["klookups_per_s"] > 0.95 * rows[0]["klookups_per_s"]
+
+
+SPEC = harness.BenchSpec(
+    name="ablation_invalidation",
+    title="Ablation — extent churn vs chain throughput",
+    func=ablation_invalidation_rate,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="churn costs throughput; no churn, no invalidations",
+    metric_cols=["invalidations", "refresh_ioctls", "mean_latency_us"],
+    throughput=("klookups_per_s", "klookups/s", "max"),
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

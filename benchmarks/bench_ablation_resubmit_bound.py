@@ -6,17 +6,29 @@ latency (extra full-stack restarts) but cap how long one process can
 monopolise the completion path — the fairness trade the paper proposes.
 """
 
+import sys
+
+import harness
+
 from repro.bench import ablation_resubmit_bound, format_table
 
 COLUMNS = ["bound", "chain_length", "kills_per_lookup", "mean_latency_us"]
 
+FULL = {"chain_length": 24, "bounds": (2, 4, 8, 16, 64), "lookups": 50}
+SMOKE = {"chain_length": 8, "bounds": (2, 8), "lookups": 5}
+
+
+def check_shape(rows):
+    # Tighter bounds -> more kills and higher latency, monotonically.
+    latencies = [row["mean_latency_us"] for row in rows]
+    assert all(a >= b for a, b in zip(latencies, latencies[1:]))
+    kills = [row["kills_per_lookup"] for row in rows]
+    assert all(a >= b for a, b in zip(kills, kills[1:]))
+
 
 def test_ablation_resubmit_bound(benchmark):
-    rows = benchmark.pedantic(
-        ablation_resubmit_bound,
-        kwargs={"chain_length": 24, "bounds": (2, 4, 8, 16, 64),
-                "lookups": 50},
-        rounds=1, iterations=1)
+    rows = benchmark.pedantic(ablation_resubmit_bound, kwargs=FULL,
+                              rounds=1, iterations=1)
     print()
     print(format_table("Ablation — chained-resubmission bound",
                        COLUMNS, rows))
@@ -32,3 +44,24 @@ def test_ablation_resubmit_bound(benchmark):
     assert by_bound[64]["kills_per_lookup"] == 0
     # ceil(24/2) - 1 = 11 kills per lookup at the tightest bound.
     assert by_bound[2]["kills_per_lookup"] == 11
+
+
+SPEC = harness.BenchSpec(
+    name="ablation_resubmit_bound",
+    title="Ablation — chained-resubmission bound",
+    func=ablation_resubmit_bound,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="tighter bounds cost kills and latency, monotonically",
+    metric_cols=["kills_per_lookup", "mean_latency_us"],
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,14 +6,28 @@ device's completion path, so execution mode shifts end-to-end latency by
 (insns x cost-delta) per hop.
 """
 
+import sys
+
+import harness
+
 from repro.bench import ablation_vm_mode, format_table
 
 COLUMNS = ["mode", "depth", "mean_latency_us", "speedup_vs_baseline"]
 
+FULL = {"depth": 6, "operations": 200}
+SMOKE = {"depth": 3, "operations": 20}
+
+
+def check_shape(rows):
+    by_mode = {row["mode"]: row for row in rows}
+    # JIT is never slower, and both beat the baseline.
+    assert by_mode["jit"]["mean_latency_us"] <= \
+        by_mode["interp"]["mean_latency_us"]
+    assert by_mode["interp"]["speedup_vs_baseline"] > 1.0
+
 
 def test_ablation_vm_mode(benchmark):
-    rows = benchmark.pedantic(ablation_vm_mode,
-                              kwargs={"depth": 6, "operations": 200},
+    rows = benchmark.pedantic(ablation_vm_mode, kwargs=FULL,
                               rounds=1, iterations=1)
     print()
     print(format_table("Ablation — interpreter vs JIT", COLUMNS, rows))
@@ -29,3 +43,24 @@ def test_ablation_vm_mode(benchmark):
     # design works even with the interpreter.
     assert by_mode["jit"]["mean_latency_us"] > \
         0.90 * by_mode["interp"]["mean_latency_us"]
+
+
+SPEC = harness.BenchSpec(
+    name="ablation_vm_mode",
+    title="Ablation — interpreter vs JIT",
+    func=ablation_vm_mode,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="jit <= interp latency, both beat baseline",
+    metric_cols=["mean_latency_us", "speedup_vs_baseline"],
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,10 +14,14 @@ every fsynced file intact.
 Runnable directly for the CI smoke test::
 
     PYTHONPATH=src python benchmarks/bench_crash_recovery.py --quick
+
+``--json [PATH]`` additionally writes a ``BENCH_crash_recovery.json``
+result document (see ``benchmarks/harness.py``).
 """
 
-import argparse
 import sys
+
+import harness
 
 from repro.bench import format_table
 from repro.device import NVM_GEN2
@@ -132,19 +136,22 @@ def test_crash_recovery(benchmark):
         lazy["fsync_avg_us"], 2)
 
 
+SPEC = harness.BenchSpec(
+    name="crash_recovery",
+    title="Crash recovery — fsync cost and replay vs checkpoint cadence",
+    func=crash_recovery_sweep,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=QUICK,
+    check=check_shape,
+    shape_note="fsck clean, every fsynced file intact, eager checkpoints "
+               "shorten replay",
+    metric_cols=["fsync_avg_us", "replayed_txns", "checkpoints"],
+)
+
+
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="miniature sweep for CI smoke testing")
-    args = parser.parse_args(argv)
-    rows = crash_recovery_sweep(**(QUICK if args.quick else FULL))
-    print(format_table(
-        "Crash recovery — fsync cost and replay vs checkpoint cadence",
-        COLUMNS, rows))
-    check_shape(rows)
-    print("shape OK: fsck clean, every fsynced file intact, eager "
-          "checkpoints shorten replay")
-    return 0
+    return harness.bench_main(SPEC, argv)
 
 
 if __name__ == "__main__":

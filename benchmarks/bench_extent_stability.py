@@ -11,18 +11,31 @@ rebuilds append past EOF; a rare GC pass rewrites the file) and report the
 measured change interval plus the 24-hour extrapolation.
 """
 
+import sys
+
+import harness
+
 from repro.bench import extent_stability, format_table
 
 COLUMNS = ["sim_hours", "operations", "extent_changes", "unmap_changes",
            "mean_change_interval_s", "changes_per_24h", "unmaps_per_24h",
            "invalidations", "paper_interval_s", "paper_unmaps_per_24h"]
 
+FULL = {"sim_hours": 2.0, "ops_per_sec": 500}
+SMOKE = {"sim_hours": 0.05, "ops_per_sec": 500, "rebuild_overlay": 3000,
+         "gc_every_rebuilds": 3, "initial_keys": 3000, "fanout": 32}
+
+
+def check_shape(rows):
+    row = rows[0]
+    assert row["extent_changes"] > 0
+    # Every unmap invalidated the NVMe-layer cache exactly once.
+    assert row["invalidations"] == row["unmap_changes"]
+
 
 def test_extent_stability(benchmark):
-    rows = benchmark.pedantic(
-        extent_stability,
-        kwargs={"sim_hours": 2.0, "ops_per_sec": 500},
-        rounds=1, iterations=1)
+    rows = benchmark.pedantic(extent_stability, kwargs=FULL,
+                              rounds=1, iterations=1)
     print()
     print(format_table("§4 — index-file extent stability under YCSB",
                        COLUMNS, rows))
@@ -36,3 +49,25 @@ def test_extent_stability(benchmark):
     assert row["unmaps_per_24h"] <= 10
     # Every unmap invalidated the NVMe-layer cache exactly once.
     assert row["invalidations"] == row["unmap_changes"]
+
+
+SPEC = harness.BenchSpec(
+    name="extent_stability",
+    title="§4 — index-file extent stability under YCSB",
+    func=extent_stability,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="extents change, every unmap invalidates exactly once",
+    metric_cols=["mean_change_interval_s", "unmaps_per_24h",
+                 "extent_changes"],
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

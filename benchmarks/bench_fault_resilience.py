@@ -14,8 +14,9 @@ Runnable directly for the CI smoke test::
     PYTHONPATH=src python benchmarks/bench_fault_resilience.py --quick
 """
 
-import argparse
 import sys
+
+import harness
 
 from repro.bench import fault_resilience, format_table
 
@@ -68,18 +69,22 @@ def test_fault_resilience(benchmark):
     assert one_pct["availability_pct"] >= 99.0
 
 
+SPEC = harness.BenchSpec(
+    name="fault_resilience",
+    title="Resilience — chained lookups under an injected fault plan",
+    func=fault_resilience,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=QUICK,
+    check=check_shape,
+    shape_note="bounded retries, availability >= 90 % at all rates",
+    metric_cols=["availability_pct", "p99_latency_us"],
+    throughput=("klookups_per_s", "klookups/s", "max"),
+)
+
+
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="miniature sweep for CI smoke testing")
-    args = parser.parse_args(argv)
-    rows = fault_resilience(**(QUICK if args.quick else FULL))
-    print(format_table(
-        "Resilience — chained lookups under an injected fault plan",
-        COLUMNS, rows))
-    check_shape(rows)
-    print("shape OK: bounded retries, availability >= 90 % at all rates")
-    return 0
+    return harness.bench_main(SPEC, argv)
 
 
 if __name__ == "__main__":

@@ -6,14 +6,28 @@ second-generation Optane — which is the whole motivation for pushing BPF
 into the completion path.
 """
 
+import sys
+
+import harness
+
 from repro.bench import fig1_latency_breakdown, format_table
 
 COLUMNS = ["device", "total_us", "device_us", "software_us", "software_pct"]
 
+FULL = {"reads": 300}
+SMOKE = {"reads": 30}
+
+
+def check_shape(rows):
+    # The software share grows monotonically with device speed.
+    pcts = [row["software_pct"] for row in rows]
+    assert pcts == sorted(pcts)
+    assert pcts[-1] > 40
+
 
 def test_fig1_latency_breakdown(benchmark):
     rows = benchmark.pedantic(fig1_latency_breakdown,
-                              kwargs={"reads": 300}, rounds=1, iterations=1)
+                              kwargs=FULL, rounds=1, iterations=1)
     print()
     print(format_table("Figure 1 — kernel overhead per device generation",
                        COLUMNS, rows))
@@ -31,3 +45,26 @@ def test_fig1_latency_breakdown(benchmark):
     assert by_device["NAND"]["software_pct"] < 10.0
     assert 8.0 <= by_device["NVM-1"]["software_pct"] <= 18.0
     assert 40.0 <= by_device["NVM-2"]["software_pct"] <= 55.0
+
+
+SPEC = harness.BenchSpec(
+    name="fig1_latency_breakdown",
+    title="Figure 1 — kernel overhead per device generation",
+    func=fig1_latency_breakdown,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="software share grows with device speed, NVM-2 ~half",
+    metrics_fn=lambda rows: {
+        f"{row['device']}_software_pct": round(row["software_pct"], 4)
+        for row in rows},
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

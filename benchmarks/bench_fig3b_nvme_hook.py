@@ -5,19 +5,29 @@ baseline saturates the 6 cores at 6 threads; deeper trees gain more
 because every level compounds the number of cheaply reissued requests.
 """
 
+import sys
+
+import harness
+
 from repro.bench import fig3_throughput, format_table
 
 COLUMNS = ["depth", "threads", "baseline_klookups", "nvme_klookups",
            "speedup"]
 
+FULL = {"hook": "nvme", "depths": (2, 6, 10),
+        "threads": (1, 2, 4, 6, 8, 12), "duration_ns": 8_000_000}
+SMOKE = {"hook": "nvme", "depths": (4,), "threads": (1, 6),
+         "duration_ns": 2_000_000}
+
+
+def check_shape(rows):
+    # The NVMe hook beats the baseline everywhere.
+    assert all(row["speedup"] > 1.1 for row in rows)
+
 
 def test_fig3b_nvme_hook(benchmark):
-    rows = benchmark.pedantic(
-        fig3_throughput,
-        kwargs={"hook": "nvme", "depths": (2, 6, 10),
-                "threads": (1, 2, 4, 6, 8, 12),
-                "duration_ns": 8_000_000},
-        rounds=1, iterations=1)
+    rows = benchmark.pedantic(fig3_throughput, kwargs=FULL,
+                              rounds=1, iterations=1)
     print()
     print(format_table(
         "Figure 3b — lookups/sec, NVMe-driver hook vs baseline",
@@ -40,3 +50,25 @@ def test_fig3b_nvme_hook(benchmark):
         cell(6, 6)["baseline_klookups"] * 1.05
     # Deeper trees gain more (at saturation).
     assert cell(10, 12)["speedup"] >= cell(2, 12)["speedup"] * 0.95
+
+
+SPEC = harness.BenchSpec(
+    name="fig3b_nvme_hook",
+    title="Figure 3b — lookups/sec, NVMe-driver hook vs baseline",
+    func=fig3_throughput,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="NVMe hook beats baseline at every cell",
+    metric_cols=["speedup"],
+    throughput=("nvme_klookups", "klookups/s", "max"),
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

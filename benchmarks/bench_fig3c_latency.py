@@ -7,17 +7,28 @@ dependent I/O to chain there is nothing to win, and the interrupt-driven
 chain completion costs slightly more than a polled read.
 """
 
+import sys
+
+import harness
+
 from repro.bench import fig3c_latency, format_table
 
 COLUMNS = ["depth", "baseline_us", "syscall_us", "nvme_us",
            "nvme_reduction_pct"]
 
+FULL = {"depths": (1, 2, 3, 4, 6, 8, 10, 16), "operations": 100}
+SMOKE = {"depths": (2, 6), "operations": 30}
+
+
+def check_shape(rows):
+    # Latency reduction grows with depth toward the paper's ~49 %.
+    reductions = [row["nvme_reduction_pct"] for row in rows]
+    assert all(b >= a for a, b in zip(reductions, reductions[1:]))
+
 
 def test_fig3c_latency(benchmark):
-    rows = benchmark.pedantic(
-        fig3c_latency,
-        kwargs={"depths": (1, 2, 3, 4, 6, 8, 10, 16), "operations": 100},
-        rounds=1, iterations=1)
+    rows = benchmark.pedantic(fig3c_latency, kwargs=FULL,
+                              rounds=1, iterations=1)
     print()
     print(format_table("Figure 3c — single-thread lookup latency",
                        COLUMNS, rows))
@@ -33,3 +44,24 @@ def test_fig3c_latency(benchmark):
     assert by_depth[10]["nvme_us"] < by_depth[10]["syscall_us"]
     # Depth 1: nothing to chain, so the hook cannot win.
     assert by_depth[1]["nvme_reduction_pct"] < 0
+
+
+SPEC = harness.BenchSpec(
+    name="fig3c_latency",
+    title="Figure 3c — single-thread lookup latency",
+    func=fig3c_latency,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="latency reduction grows monotonically with depth",
+    metric_cols=["nvme_reduction_pct", "nvme_us", "baseline_us"],
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,17 +11,32 @@ calibrated against Figure 3c's 49 % latency cut, which makes chained hops
 cheaper relative to the baseline than the authors' proxy implementation.
 """
 
+import sys
+
+import harness
+
 from repro.bench import fig3d_iouring, format_table
 
 COLUMNS = ["depth", "batch", "baseline_klookups", "bpf_klookups", "speedup"]
 
+FULL = {"depths": (3, 6, 10), "batches": (1, 2, 4, 8, 16, 32),
+        "duration_ns": 8_000_000}
+SMOKE = {"depths": (4,), "batches": (1, 8), "duration_ns": 2_000_000}
+
+
+def check_shape(rows):
+    # Speedup grows with batch size at every depth; BPF never loses.
+    assert all(row["speedup"] > 1.0 for row in rows)
+    by_depth = {}
+    for row in rows:
+        by_depth.setdefault(row["depth"], []).append(row["speedup"])
+    for speedups in by_depth.values():
+        assert speedups[-1] > speedups[0]
+
 
 def test_fig3d_iouring(benchmark):
-    rows = benchmark.pedantic(
-        fig3d_iouring,
-        kwargs={"depths": (3, 6, 10), "batches": (1, 2, 4, 8, 16, 32),
-                "duration_ns": 8_000_000},
-        rounds=1, iterations=1)
+    rows = benchmark.pedantic(fig3d_iouring, kwargs=FULL,
+                              rounds=1, iterations=1)
     print()
     print(format_table(
         "Figure 3d — io_uring lookups/sec, NVMe hook vs unmodified",
@@ -42,3 +57,25 @@ def test_fig3d_iouring(benchmark):
     big_batch = {row["depth"]: row["speedup"] for row in rows
                  if row["batch"] == 32}
     assert big_batch[10] > big_batch[3]
+
+
+SPEC = harness.BenchSpec(
+    name="fig3d_iouring",
+    title="Figure 3d — io_uring lookups/sec, NVMe hook vs unmodified",
+    func=fig3d_iouring,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="speedup grows with batch size, BPF never loses",
+    metric_cols=["speedup"],
+    throughput=("bpf_klookups", "klookups/s", "max"),
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

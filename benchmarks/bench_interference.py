@@ -8,18 +8,32 @@ accounting (the counters the NVMe layer periodically drains to the BIO
 layer) balances exactly.
 """
 
+import sys
+
+import harness
+
 from repro.bench import format_table, interference
 
 COLUMNS = ["scenario", "plain_kreads_per_s", "plain_mean_latency_us",
            "chained_resubmissions", "chain_processes_accounted"]
 
+FULL = {"chain_depth": 16, "plain_threads": 3, "chain_threads": 12,
+        "duration_ns": 8_000_000}
+SMOKE = {"chain_depth": 8, "plain_threads": 2, "chain_threads": 6,
+         "duration_ns": 3_000_000}
+
+
+def check_shape(rows):
+    alone, loaded = rows
+    # Chains pressure plain readers, and the accounting balances.
+    assert loaded["plain_mean_latency_us"] > alone["plain_mean_latency_us"]
+    assert alone["chained_resubmissions"] == 0
+    assert loaded["chained_resubmissions"] > 0
+
 
 def test_interference(benchmark):
-    rows = benchmark.pedantic(
-        interference,
-        kwargs={"chain_depth": 16, "plain_threads": 3, "chain_threads": 12,
-                "duration_ns": 8_000_000},
-        rounds=1, iterations=1)
+    rows = benchmark.pedantic(interference, kwargs=FULL,
+                              rounds=1, iterations=1)
     print()
     print(format_table("§4 fairness — chains vs plain readers",
                        COLUMNS, rows))
@@ -36,3 +50,24 @@ def test_interference(benchmark):
     assert loaded["chain_processes_accounted"] == 12
     assert loaded["chained_resubmissions"] > 0
     assert alone["chained_resubmissions"] == 0
+
+
+SPEC = harness.BenchSpec(
+    name="interference",
+    title="§4 fairness — chains vs plain readers",
+    func=interference,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="chains pressure plain readers, accounting balances",
+    metric_cols=["plain_kreads_per_s", "plain_mean_latency_us"],
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ zipfian read workload.
 """
 
 import struct
+import sys
+
+import harness
 
 from repro.bench.runner import NVM2_BENCH
 from repro.bench.tables import format_table
@@ -23,28 +26,31 @@ from repro.workloads import ZipfianGenerator
 NUM_KEYS = 30_000
 READS = 400
 
+FULL = {"num_keys": NUM_KEYS, "reads": READS}
+SMOKE = {"num_keys": 8_000, "reads": 60}
 
-def _setup():
+
+def _setup(num_keys):
     sim = Simulator()
     kernel = Kernel(sim, NVM2_BENCH, KernelConfig(cores=6))
     bpf = StorageBpf(kernel)
     lsm = LsmTree(kernel.fs, "/db", memtable_limit=4096, l0_limit=4)
-    for key in range(NUM_KEYS):
+    for key in range(num_keys):
         lsm.put(key, key * 3 + 1)
     lsm.flush()
-    keys = ZipfianGenerator(NUM_KEYS, RandomStreams(8).stream("keys"),
+    keys = ZipfianGenerator(num_keys, RandomStreams(8).stream("keys"),
                             theta=0.9)
     return sim, kernel, bpf, lsm, keys
 
 
-def _run_comparison():
-    sim, kernel, bpf, lsm, keys = _setup()
+def _run_comparison(num_keys=NUM_KEYS, reads=READS):
+    sim, kernel, bpf, lsm, keys = _setup(num_keys)
     program = index_traversal_program()
     bpf.verify_program(program)
     proc = kernel.spawn_process()
     stats = {"baseline_ns": 0, "chain_ns": 0, "checked": 0,
              "tables": lsm.table_count()}
-    probe_list = [keys.next_key() for _ in range(READS)]
+    probe_list = [keys.next_key() for _ in range(reads)]
 
     def workload():
         fds = {}
@@ -107,13 +113,25 @@ def _run_comparison():
 
     kernel.run_syscall(workload())
     return [{
-        "reads": READS,
+        "reads": reads,
         "sstables": stats["tables"],
-        "baseline_us_per_get": stats["baseline_ns"] / READS / 1000,
-        "chain_us_per_get": stats["chain_ns"] / READS / 1000,
+        "baseline_us_per_get": stats["baseline_ns"] / reads / 1000,
+        "chain_us_per_get": stats["chain_ns"] / reads / 1000,
         "speedup": stats["baseline_ns"] / stats["chain_ns"],
         "verified_against_reference": stats["checked"],
     }]
+
+
+COLUMNS = ["reads", "sstables", "baseline_us_per_get", "chain_us_per_get",
+           "speedup", "verified_against_reference"]
+
+
+def check_shape(rows):
+    for row in rows:
+        # Every accelerated get matched the reference implementation.
+        assert row["verified_against_reference"] == row["reads"]
+        # The 3-hop chain never loses.
+        assert row["speedup"] > 1.0
 
 
 def test_lsm_get(benchmark):
@@ -121,11 +139,31 @@ def test_lsm_get(benchmark):
     print()
     print(format_table(
         "LSM point gets — BPF chains vs application traversal",
-        ["reads", "sstables", "baseline_us_per_get", "chain_us_per_get",
-         "speedup", "verified_against_reference"], rows))
+        COLUMNS, rows))
     row = rows[0]
     benchmark.extra_info["speedup"] = round(row["speedup"], 3)
     # Every accelerated get matched the reference implementation.
     assert row["verified_against_reference"] == READS
     # The 3-hop chain wins by a solid margin per get.
     assert row["speedup"] > 1.25
+
+
+SPEC = harness.BenchSpec(
+    name="lsm_get",
+    title="LSM point gets — BPF chains vs application traversal",
+    func=_run_comparison,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="every get verified against reference, chain wins",
+    metric_cols=["speedup", "chain_us_per_get", "baseline_us_per_get"],
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

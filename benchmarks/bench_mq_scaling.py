@@ -14,8 +14,9 @@ Runnable directly for the CI smoke test::
     PYTHONPATH=src python benchmarks/bench_mq_scaling.py --smoke
 """
 
-import argparse
 import sys
+
+import harness
 
 from repro.bench import format_table, mq_scaling
 
@@ -63,18 +64,22 @@ def test_mq_scaling(benchmark):
     benchmark.extra_info["best_queue_pairs"] = best["queue_pairs"]
 
 
+SPEC = harness.BenchSpec(
+    name="mq_scaling",
+    title="Multi-queue NVMe — IOPS vs SQ/CQ pairs",
+    func=mq_scaling,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="IOPS strictly increasing 1->4 pairs, queues balanced",
+    metric_cols=["speedup_vs_1q", "busiest_q_pct"],
+    throughput=("kiops", "kiops", "max"),
+)
+
+
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--smoke", "--quick", action="store_true",
-                        dest="smoke",
-                        help="miniature sweep for CI smoke testing")
-    args = parser.parse_args(argv)
-    rows = mq_scaling(**(SMOKE if args.smoke else FULL))
-    print(format_table("Multi-queue NVMe — IOPS vs SQ/CQ pairs",
-                       COLUMNS, rows))
-    check_shape(rows)
-    print("shape OK: IOPS strictly increasing 1->4 pairs, queues balanced")
-    return 0
+    return harness.bench_main(SPEC, argv)
 
 
 if __name__ == "__main__":

@@ -13,10 +13,14 @@ against the naive strategy's depth RPCs.
 Runnable directly for the CI smoke test::
 
     PYTHONPATH=src python benchmarks/bench_net_pushdown.py --smoke
+
+``--json [PATH]`` additionally writes a ``BENCH_net_pushdown.json``
+result document (see ``benchmarks/harness.py``).
 """
 
-import argparse
 import sys
+
+import harness
 
 from repro.bench import format_table, net_pushdown
 
@@ -65,18 +69,22 @@ def test_net_pushdown(benchmark):
     benchmark.extra_info["best_cell"] = (best["depth"], best["rtt_us"])
 
 
+SPEC = harness.BenchSpec(
+    name="net_pushdown",
+    title="BPF-oF — naive vs pushdown GETs over the network",
+    func=net_pushdown,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="1 RPC per pushdown GET, >=2x at depth>=4, rtt>=20us",
+    metric_cols=["speedup", "pushdown_rpcs_per_get"],
+    throughput=("pushdown_kiops", "kiops", "max"),
+)
+
+
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--smoke", "--quick", action="store_true",
-                        dest="smoke",
-                        help="miniature sweep for CI smoke testing")
-    args = parser.parse_args(argv)
-    rows = net_pushdown(**(SMOKE if args.smoke else FULL))
-    print(format_table("BPF-oF — naive vs pushdown GETs over the network",
-                       COLUMNS, rows))
-    check_shape(rows)
-    print("shape OK: 1 RPC per pushdown GET, >=2x at depth>=4, rtt>=20us")
-    return 0
+    return harness.bench_main(SPEC, argv)
 
 
 if __name__ == "__main__":

@@ -5,17 +5,132 @@ with the default (disabled) bus pays only a predicate check per event
 site.  This benchmark times the same Figure-3b workload with the bus
 disabled and enabled, verifies that observation never perturbs the
 simulated results (identical rows either way — the bus is read-only),
-and that the disabled path emits nothing.
+and that the disabled path emits nothing.  The self-profiler
+(``repro.perf``) makes the same contract, so it is measured under the
+same harness: profiled runs must produce identical rows too.
+
+In full (non-smoke) mode the documented <5 % disabled-bus bound is
+asserted outright: the best-of-N disabled run may cost at most 1.05x
+the best-of-N fully-observed run, and the measured ratio lands in
+``BENCH_obs_overhead.json``.
 """
 
+import sys
 import time
+
+import harness
 
 from repro.bench import fig3_throughput
 from repro.faults import FaultSpec, fault_injection
 from repro.obs import ObsSession, get_default_bus
+from repro.perf import profiling
 
 QUICK = {"hook": "nvme", "depths": (4,), "threads": (1, 6),
          "duration_ns": 2_000_000}
+FULL_WORKLOAD = {"hook": "nvme", "depths": (4,), "threads": (1, 6),
+                 "duration_ns": 8_000_000}
+
+COLUMNS = ["instrumentation", "best_s", "overhead_x"]
+
+FULL = {"workload": None, "rounds": 3, "assert_bound": True}
+SMOKE = {"workload": QUICK, "rounds": 1, "assert_bound": False}
+
+
+def _timed_best(fn, rounds):
+    """Best-of-N wall time plus the (identical) rows of every round."""
+    best_s = None
+    rows = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - start
+        if rows is None:
+            rows = out
+        else:
+            assert out == rows, "workload rows changed between rounds"
+        if best_s is None or elapsed < best_s:
+            best_s = elapsed
+    return best_s, rows
+
+
+def overhead_comparison(workload=None, rounds=3, assert_bound=True):
+    """One workload, three instrumentation settings, identical results.
+
+    Returns one row per setting with best-of-``rounds`` wall time and
+    the overhead relative to the uninstrumented run.  ``assert_bound``
+    (full mode) enforces the documented <5 % disabled-bus bound.
+    """
+    workload = workload or FULL_WORKLOAD
+
+    disabled_s, rows_disabled = _timed_best(
+        lambda: fig3_throughput(**workload), rounds)
+
+    def enabled_run():
+        with ObsSession():
+            return fig3_throughput(**workload)
+
+    enabled_s, rows_enabled = _timed_best(enabled_run, rounds)
+
+    def profiled_run():
+        with profiling():
+            return fig3_throughput(**workload)
+
+    profiled_s, rows_profiled = _timed_best(profiled_run, rounds)
+
+    # Neither the bus nor the profiler may perturb the simulation.
+    assert rows_enabled == rows_disabled
+    assert rows_profiled == rows_disabled
+
+    if assert_bound:
+        # The documented bound: the disabled fast path costs at most 5 %
+        # of a fully-observed run's wall time.
+        assert disabled_s <= enabled_s * 1.05, (
+            f"disabled bus not a fast path: {disabled_s:.4f}s vs "
+            f"enabled {enabled_s:.4f}s")
+
+    return [
+        {"instrumentation": "off", "best_s": round(disabled_s, 4),
+         "overhead_x": 1.0},
+        {"instrumentation": "obs-bus", "best_s": round(enabled_s, 4),
+         "overhead_x": round(enabled_s / disabled_s, 3)},
+        {"instrumentation": "profiler", "best_s": round(profiled_s, 4),
+         "overhead_x": round(profiled_s / disabled_s, 3)},
+    ]
+
+
+def check_shape(rows):
+    by_mode = {row["instrumentation"]: row for row in rows}
+    assert by_mode["off"]["overhead_x"] == 1.0
+    assert by_mode["obs-bus"]["best_s"] > 0
+    assert by_mode["profiler"]["best_s"] > 0
+
+
+def _overhead_metrics(rows):
+    by_mode = {row["instrumentation"]: row for row in rows}
+    return {
+        "disabled_vs_enabled_x": round(
+            by_mode["off"]["best_s"] / by_mode["obs-bus"]["best_s"], 4),
+        "profiler_overhead_x": by_mode["profiler"]["overhead_x"],
+        "obs_bus_overhead_x": by_mode["obs-bus"]["overhead_x"],
+    }
+
+
+SPEC = harness.BenchSpec(
+    name="obs_overhead",
+    title="Observability overhead — off vs obs-bus vs profiler",
+    func=overhead_comparison,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="identical sim rows under all instrumentation settings",
+    metrics_fn=_overhead_metrics,
+    deterministic=False,  # rows carry wall-clock times
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
 
 
 def _run_disabled():
@@ -90,3 +205,7 @@ def test_disabled_emit_is_cheap():
     per_site_ns = (time.perf_counter() - start) * 1e9 / loops
     # Generous bound: a guarded call site is tens of ns, not microseconds.
     assert per_site_ns < 2_000
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,13 +4,27 @@ Paper's numbers (ns): kernel crossing 351, read syscall 199, ext4 2006,
 bio 379, NVMe driver 113, device 3224 — 6.27 us total, ~48.6 % software.
 """
 
+import sys
+
+import harness
+
 from repro.bench import format_table, table1_breakdown
 
 COLUMNS = ["layer", "measured_ns", "paper_ns", "measured_pct"]
 
+FULL = {"reads": 300}
+SMOKE = {"reads": 30}
+
+
+def check_shape(rows):
+    # Every layer within 2 % of the paper's measurement.
+    for row in rows:
+        assert abs(row["measured_ns"] - row["paper_ns"]) <= \
+            max(2, 0.02 * row["paper_ns"]), row["layer"]
+
 
 def test_table1_breakdown(benchmark):
-    rows = benchmark.pedantic(table1_breakdown, kwargs={"reads": 300},
+    rows = benchmark.pedantic(table1_breakdown, kwargs=FULL,
                               rounds=1, iterations=1)
     print()
     print(format_table("Table 1 — 512 B read() latency breakdown (NVM-2)",
@@ -24,3 +38,26 @@ def test_table1_breakdown(benchmark):
     # The file system dominates the software side; the device is ~half.
     assert by_layer["ext4"]["measured_pct"] > 25.0
     assert 45.0 <= by_layer["storage device"]["measured_pct"] <= 55.0
+
+
+SPEC = harness.BenchSpec(
+    name="table1_breakdown",
+    title="Table 1 — 512 B read() latency breakdown (NVM-2)",
+    func=table1_breakdown,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="every layer within 2 % of the paper's numbers",
+    metrics_fn=lambda rows: {
+        f"{row['layer'].replace(' ', '_')}_ns": row["measured_ns"]
+        for row in rows},
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,245 @@
+"""Shared benchmark runner: every ``bench_*.py`` emits ``BENCH_<name>.json``.
+
+Each benchmark module declares a :class:`BenchSpec` (callable + full and
+smoke kwargs + table columns + shape check) and delegates its ``main`` to
+:func:`bench_main`, which prints the usual table and — with ``--json`` —
+writes a uniform ``repro-bench/1`` document (see
+:mod:`repro.perf.benchresult`): wall-clock rounds, deterministic metrics,
+throughput, and a machine fingerprint.  Those documents are the repo's
+perf trajectory; committed baselines live in ``benchmarks/baselines/``
+and ``scripts/check_bench_regression.py`` diffs fresh runs against them.
+
+Run one benchmark::
+
+    python benchmarks/bench_net_pushdown.py --smoke --json -
+
+Run the whole suite (the CI regression path)::
+
+    python benchmarks/harness.py --all --smoke --out bench_results
+
+Importing ``harness`` first also makes ``repro`` importable when a bench
+file is run as a plain script without ``PYTHONPATH=src``.
+"""
+
+import argparse
+import importlib
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+try:  # pragma: no cover - exercised via subprocess runs
+    import repro  # noqa: F401
+except ImportError:  # running as a script without PYTHONPATH=src
+    sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+
+from repro.bench.tables import format_table
+from repro.perf import BenchResult
+
+__all__ = ["BenchSpec", "bench_main", "discover_specs", "run_spec"]
+
+
+class BenchSpec:
+    """Everything the shared runner needs to drive one benchmark.
+
+    ``func(**kwargs)`` must return the table rows (a list of dicts of
+    scalars).  ``metric_cols`` name row columns whose per-run mean goes
+    into the JSON's deterministic ``metrics`` dict; ``metrics_fn(rows)``
+    can add arbitrary extra entries.  ``throughput`` is an optional
+    ``(column, unit, "max"|"mean")`` triple.  ``check(rows)`` asserts the
+    shape invariants that must hold in *both* modes.
+    """
+
+    def __init__(self, name, title, func, columns, full, smoke,
+                 check=None, shape_note=None, metric_cols=(),
+                 metrics_fn=None, throughput=None, sim_time_fn=None,
+                 deterministic=True):
+        self.name = name
+        self.title = title
+        self.func = func
+        self.columns = list(columns)
+        self.full = dict(full)
+        self.smoke = dict(smoke)
+        self.check = check
+        self.shape_note = shape_note
+        self.metric_cols = list(metric_cols)
+        self.metrics_fn = metrics_fn
+        self.throughput = throughput
+        self.sim_time_fn = sim_time_fn
+        self.deterministic = deterministic
+
+    def kwargs(self, mode):
+        return self.smoke if mode == "smoke" else self.full
+
+
+def _column_mean(rows, column):
+    values = [row[column] for row in rows
+              if isinstance(row.get(column), (int, float))]
+    if not values:
+        return None
+    return round(sum(values) / len(values), 6)
+
+
+def _build_metrics(spec, rows):
+    metrics = {}
+    for column in spec.metric_cols:
+        mean = _column_mean(rows, column)
+        if mean is not None:
+            metrics[f"{column}_mean"] = mean
+    if spec.metrics_fn is not None:
+        metrics.update(spec.metrics_fn(rows))
+    metrics["table_rows"] = len(rows)
+    return metrics
+
+
+def _build_throughput(spec, rows):
+    if spec.throughput is None:
+        return None
+    column, unit, agg = spec.throughput
+    values = [row[column] for row in rows
+              if isinstance(row.get(column), (int, float))]
+    if not values:
+        return None
+    value = max(values) if agg == "max" else sum(values) / len(values)
+    return {"value": round(value, 6), "unit": unit}
+
+
+def run_spec(spec, mode="full", rounds=1):
+    """Run ``spec`` and return ``(rows, BenchResult)``.
+
+    With ``rounds > 1`` every round is timed separately; for
+    deterministic benchmarks the rows must be identical across rounds
+    (the simulation is a pure function of its seed — a mismatch means
+    something nondeterministic leaked into the sim).
+    """
+    wall_rounds = []
+    rows = None
+    for round_index in range(max(1, rounds)):
+        started = time.perf_counter()
+        out = spec.func(**spec.kwargs(mode))
+        wall_rounds.append(time.perf_counter() - started)
+        if rows is not None and spec.deterministic and out != rows:
+            raise AssertionError(
+                f"{spec.name}: rows differ between rounds "
+                f"{round_index - 1} and {round_index} — simulation is "
+                f"supposed to be deterministic")
+        rows = out
+    result = BenchResult(
+        name=spec.name,
+        title=spec.title,
+        mode=mode,
+        wall_rounds_s=wall_rounds,
+        sim_time_ns=spec.sim_time_fn(rows) if spec.sim_time_fn else None,
+        throughput=_build_throughput(spec, rows),
+        metrics=_build_metrics(spec, rows),
+    )
+    return rows, result
+
+
+def bench_main(spec, argv=None):
+    """The shared ``main`` for every bench module."""
+    parser = argparse.ArgumentParser(description=spec.title)
+    parser.add_argument("--smoke", "--quick", action="store_true",
+                        dest="smoke",
+                        help="miniature sweep for CI smoke testing")
+    parser.add_argument("--rounds", type=int, default=1, metavar="N",
+                        help="timed repetitions (default 1)")
+    parser.add_argument("--json", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="write BENCH_%s.json (default ./BENCH_%s.json;"
+                             " '-' for stdout)" % (spec.name, spec.name))
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    rows, result = run_spec(spec, mode, rounds=args.rounds)
+    print(format_table(spec.title, spec.columns, rows))
+    if spec.check is not None:
+        spec.check(rows)
+        print(f"shape OK: {spec.shape_note or 'invariants hold'}")
+    if args.json is not None:
+        if args.json == "-":
+            sys.stdout.write(result.to_json())
+        else:
+            path = args.json or f"BENCH_{spec.name}.json"
+            result.write(path)
+            print(f"wrote {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Suite mode: discover every bench module's SPEC and run them all
+# ---------------------------------------------------------------------------
+
+
+def discover_specs(names=None):
+    """Import every ``bench_*.py`` next to this file and collect SPECs."""
+    if _HERE not in sys.path:
+        sys.path.insert(0, _HERE)
+    specs = []
+    for filename in sorted(os.listdir(_HERE)):
+        if not (filename.startswith("bench_") and filename.endswith(".py")):
+            continue
+        module = importlib.import_module(filename[:-3])
+        spec = getattr(module, "SPEC", None)
+        if spec is None:
+            raise RuntimeError(f"{filename} declares no SPEC")
+        if names and spec.name not in names:
+            continue
+        specs.append(spec)
+    if names:
+        missing = set(names) - {spec.name for spec in specs}
+        if missing:
+            raise SystemExit(f"unknown benchmarks: {sorted(missing)}")
+    return specs
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Run the benchmark suite and emit BENCH_<name>.json "
+                    "documents")
+    parser.add_argument("--all", action="store_true",
+                        help="run every discovered benchmark")
+    parser.add_argument("--only", default=None, metavar="A,B",
+                        help="comma-separated subset of benchmark names")
+    parser.add_argument("--smoke", "--quick", action="store_true",
+                        dest="smoke",
+                        help="miniature sweeps for CI smoke testing")
+    parser.add_argument("--rounds", type=int, default=1, metavar="N")
+    parser.add_argument("--out", default=".", metavar="DIR",
+                        help="directory for BENCH_<name>.json files")
+    parser.add_argument("--tables", action="store_true",
+                        help="also print each benchmark's table")
+    args = parser.parse_args(argv)
+    if not args.all and not args.only:
+        parser.error("pass --all or --only NAME[,NAME...]")
+    names = args.only.split(",") if args.only else None
+    specs = discover_specs(names)
+    os.makedirs(args.out, exist_ok=True)
+    mode = "smoke" if args.smoke else "full"
+    failures = []
+    for spec in specs:
+        started = time.perf_counter()
+        try:
+            rows, result = run_spec(spec, mode, rounds=args.rounds)
+            if spec.check is not None:
+                spec.check(rows)
+        except AssertionError as exc:
+            failures.append(spec.name)
+            print(f"FAIL  {spec.name}: {exc}")
+            continue
+        if args.tables:
+            print(format_table(spec.title, spec.columns, rows))
+        path = os.path.join(args.out, f"BENCH_{spec.name}.json")
+        result.write(path)
+        elapsed = time.perf_counter() - started
+        print(f"ok    {spec.name:28s} {elapsed:7.2f}s  -> {path}")
+    if failures:
+        print(f"{len(failures)} benchmark(s) failed shape checks: "
+              f"{failures}")
+        return 1
+    print(f"{len(specs)} benchmarks, mode={mode}, out={args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

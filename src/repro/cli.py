@@ -19,6 +19,12 @@ Commands:
   print per-layer CPU-ns attribution (reconciled against Table 1), the
   chain-bypass summary, stack-health metrics (including fault-path
   counters when ``--fault-plan`` is armed), and exemplar span trees.
+* ``profile <name>`` — run one experiment under the self-profiler
+  (``repro.perf``) and print the wall-clock hotspot report: self and
+  cumulative time by subsystem (engine / vm / kernel / device / net /
+  obs), the hottest call sites, and eBPF program/opcode statistics.
+  ``--collapsed PATH`` additionally writes flamegraph-format collapsed
+  stacks (``-`` for stdout).
 * ``disasm <program>`` — print a library program's verified assembly
   (index, scan, linked, wisckey).
 * ``verify-demo`` — show the verifier accepting a safe program and
@@ -228,6 +234,27 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.perf import collapsed_stacks, profiling, render_profile
+
+    title, runner = _EXPERIMENTS[args.name]
+    with _fault_context(args):
+        with profiling() as profiler:
+            runner(args.quick)
+    print(f"{title} — simulator self-profile (wall clock)")
+    print()
+    print(render_profile(profiler, top=args.top))
+    if args.collapsed:
+        text = collapsed_stacks(profiler)
+        if args.collapsed == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.collapsed, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"\ncollapsed stacks -> {args.collapsed}")
+    return 0
+
+
 def _cmd_disasm(args) -> int:
     from repro.core.hooks import storage_helpers
     from repro.ebpf import verify
@@ -337,6 +364,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_parser(sub, "metrics",
                        "run one experiment under the observability bus",
                        _cmd_metrics)
+
+    profile = sub.add_parser(
+        "profile", help="run one experiment under the self-profiler")
+    profile.add_argument("name", choices=sorted(_EXPERIMENTS))
+    profile.add_argument("--quick", action="store_true",
+                         help="miniature run (seconds instead of minutes)")
+    profile.add_argument("--top", type=int, default=15, metavar="N",
+                         help="call sites to list (default 15)")
+    profile.add_argument("--collapsed", metavar="PATH", default=None,
+                         help="write flamegraph collapsed stacks to PATH "
+                              "('-' for stdout)")
+    profile.add_argument(
+        "--fault-plan", metavar="SPEC", default=None,
+        help="arm a fault plan while profiling")
+    profile.set_defaults(func=_cmd_profile)
 
     disasm = sub.add_parser("disasm",
                             help="disassemble a library BPF program")

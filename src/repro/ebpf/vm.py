@@ -21,9 +21,11 @@ only allowed to fields the layout marks writable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import VmFault
+from repro.perf.profiler import get_default_profiler
 from repro.ebpf.helpers import ArgKind, HelperRegistry, RetKind
 from repro.ebpf.isa import FP_REG, MEM_SIZES, STACK_SIZE
 from repro.ebpf.maps import BpfMap
@@ -125,6 +127,7 @@ class Vm:
         self.max_instructions = max_instructions
         self.trace_log: List[int] = []
         self._compiled = None
+        self._opclasses: Optional[List[str]] = None  # lazy; profiling only
         if mode == "jit":
             self._compiled = [self._compile_insn(i) for i in program.instructions]
 
@@ -198,6 +201,9 @@ class Vm:
 
         state = _RunState(self, ctx, region_objs)
         self.trace_log = state.trace_log
+        profiler = get_default_profiler()
+        if profiler.enabled:
+            return self._run_profiled(state, profiler)
         if self.mode == "jit":
             return self._run_compiled(state)
         return self._run_interp(state)
@@ -241,6 +247,50 @@ class Vm:
                 break
             pc = next_pc
         return state.result()
+
+    # -- profiled mode ----------------------------------------------------
+
+    def _run_profiled(self, state: "_RunState",
+                      profiler) -> ExecutionResult:
+        """The interpreter/compiled loop with per-opcode-class timing.
+
+        Same semantics and instruction budget as the unprofiled loops;
+        only taken when a default profiler is enabled, so neither hot
+        path pays for the timing calls.
+        """
+        classes = self._opclasses
+        if classes is None:
+            classes = self._opclasses = [
+                _opcode_class(insn.opcode)
+                for insn in self.program.instructions
+            ]
+        insns = self.program.instructions
+        compiled = self._compiled
+        limit = self.max_instructions
+        name = self.program.name
+        profiler.push(("vm", f"run.{name}"))
+        try:
+            pc = 0
+            while True:
+                if state.executed >= limit:
+                    raise VmFault("instruction budget exhausted", pc)
+                if not 0 <= pc < len(insns):
+                    raise VmFault(f"pc {pc} out of program", pc)
+                state.executed += 1
+                started = perf_counter_ns()
+                if compiled is not None:
+                    next_pc = compiled[pc](state, pc)
+                else:
+                    next_pc = _step(state, insns[pc], pc)
+                profiler.on_opcode(classes[pc], perf_counter_ns() - started)
+                if next_pc is None:
+                    break
+                pc = next_pc
+            result = state.result()
+        finally:
+            wall_ns = profiler.pop()
+        profiler.on_program(name, self.mode, state.executed, wall_ns)
+        return result
 
 
 class _RunState:
@@ -304,6 +354,23 @@ _JMP_FN = {
     "jslt": lambda a, b: _s64(a) < _s64(b),
     "jsle": lambda a, b: _s64(a) <= _s64(b),
 }
+
+
+def _opcode_class(op: str) -> str:
+    """Profiling bucket for an opcode: exit/call/imm/jmp/load/store/alu."""
+    if op == "exit":
+        return "exit"
+    if op == "call":
+        return "call"
+    if op == "lddw":
+        return "imm"
+    if op == "ja" or op in _JMP_FN:
+        return "jmp"
+    if op.startswith("ldx"):
+        return "load"
+    if op.startswith("stx") or op.startswith("st"):
+        return "store"
+    return "alu"
 
 
 def _as_scalar(value: Any, what: str, pc: int) -> int:

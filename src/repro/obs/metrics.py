@@ -138,6 +138,9 @@ class Histogram:
                 "labels": dict(key),
                 "count": rec.count,
                 "sum": rec.total,
+                "p50": rec.p50,
+                "p95": rec.p95,
+                "p99": rec.p99,
                 "buckets": {str(bound): cum
                             for bound, cum in zip(self.buckets, cumulative)},
             })
@@ -206,8 +209,11 @@ class MetricsRegistry:
                                             sorted(labels.items())) + "}"
                              if labels else "")
                 if entry["kind"] == "histogram":
-                    lines.append(f"{entry['name']}{label_str} "
-                                 f"count={sample['count']} sum={sample['sum']}")
+                    lines.append(
+                        f"{entry['name']}{label_str} "
+                        f"count={sample['count']} sum={sample['sum']} "
+                        f"p50={sample['p50']:g} p95={sample['p95']:g} "
+                        f"p99={sample['p99']:g}")
                 else:
                     lines.append(f"{entry['name']}{label_str} {sample['value']}")
         return "\n".join(lines)

@@ -190,6 +190,8 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
     ``extent_cache_lookups_total`` (by outcome),
     ``extent_cache_invalidations_total``, ``resubmissions_total``
     (by pid, the fairness drain), ``nvme_commands_total`` (by source),
+    ``nvme_service_time_ns`` histogram (device service time per
+    completed command, p50/p95/p99 from the recorder),
     ``nvme_queue_depth`` gauge (last observed),
     ``nvme_qpair_commands_total`` (completions by queue pair),
     ``nvme_qpair_depth`` gauge (in-flight per queue pair, tracked from
@@ -227,6 +229,11 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
     resub = registry.counter("resubmissions_total",
                              "Chained resubmissions drained to bio, by pid")
     nvme = registry.counter("nvme_commands_total", "NVMe submissions by source")
+    service = registry.histogram(
+        "nvme_service_time_ns",
+        buckets=[500, 1_000, 2_000, 4_000, 8_000, 16_000, 32_000,
+                 64_000, 128_000],
+        help="Device service time per completed NVMe command")
     qdepth = registry.gauge("nvme_queue_depth", "Last observed queue depth")
     qpair_cmds = registry.counter("nvme_qpair_commands_total",
                                   "NVMe completions by queue pair")
@@ -300,6 +307,9 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
                                  "fsck invariant violations")
 
     def _on_nvme_complete(event: TraceEvent) -> None:
+        service_ns = event.get("service_ns", 0)
+        if service_ns:
+            service.observe(service_ns)
         if event.get("status", 0) == 0:
             count = event.get("sectors", 0)
             if count:

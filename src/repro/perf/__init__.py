@@ -1,0 +1,47 @@
+"""Self-profiling for the simulator (`wall-clock`, not simulated ns).
+
+`repro.obs` observes the *simulated* stack; `repro.perf` observes the
+simulator.  Three pieces:
+
+* :mod:`repro.perf.profiler` — frame-stack profiler hooked into the
+  sim engine's event dispatch and the eBPF VM's instruction loop; off
+  by default, one attribute check when off.
+* :mod:`repro.perf.benchresult` — the ``repro-bench/1`` schema every
+  benchmark emits as ``BENCH_<name>.json`` (see ``benchmarks/harness.py``).
+* :mod:`repro.perf.report` — hotspot tables and collapsed flamegraph
+  output for ``python -m repro profile``.
+
+This package is imported by ``sim/engine.py``, so it must stay
+import-light: nothing here may pull in ``repro.bench``, ``repro.kernel``
+or anything that imports the engine at module level.
+"""
+
+from repro.perf.benchresult import (
+    BENCH_SCHEMA,
+    BenchResult,
+    fingerprint,
+    validate_bench_json,
+)
+from repro.perf.profiler import (
+    NULL_PROFILER,
+    Profiler,
+    get_default_profiler,
+    profiling,
+    set_default_profiler,
+)
+from repro.perf.report import collapsed_stacks, render_profile, subsystem_totals
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchResult",
+    "NULL_PROFILER",
+    "Profiler",
+    "collapsed_stacks",
+    "fingerprint",
+    "get_default_profiler",
+    "profiling",
+    "render_profile",
+    "set_default_profiler",
+    "subsystem_totals",
+    "validate_bench_json",
+]

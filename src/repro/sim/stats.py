@@ -89,6 +89,10 @@ class LatencyRecorder:
         return self.percentile(0.50)
 
     @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
     def p99(self) -> float:
         return self.percentile(0.99)
 

@@ -95,3 +95,35 @@ def test_metrics_with_fault_plan_reports_fault_counters(capsys):
     out = capsys.readouterr().out
     assert "faults_injected_total" in out
     assert "nvme_retries_total" in out
+
+
+def test_profile_quick_prints_hotspot_table(capsys):
+    assert main(["profile", "fig3c", "--quick", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "self-profile" in out
+    assert "engine" in out
+    assert "vm" in out
+    assert "events dispatched" in out
+
+
+def test_profile_collapsed_to_stdout(capsys):
+    assert main(["profile", "table1", "--quick", "--collapsed", "-"]) == 0
+    out = capsys.readouterr().out
+    # Collapsed lines are "subsystem:site;... self_ns".
+    folded = [line for line in out.splitlines()
+              if line.startswith("engine:") and line.rsplit(" ", 1)[-1].isdigit()]
+    assert folded
+
+
+def test_profile_collapsed_to_file(tmp_path, capsys):
+    target = tmp_path / "prof.folded"
+    assert main(["profile", "table1", "--quick",
+                 "--collapsed", str(target)]) == 0
+    text = target.read_text()
+    assert text.strip()
+    assert "collapsed stacks ->" in capsys.readouterr().out
+
+
+def test_profile_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["profile", "fig99", "--quick"])

@@ -300,3 +300,36 @@ def test_obs_session_trace_jsonl_write(tmp_path):
     for line in lines:
         record = json.loads(line)
         assert "ts" in record and "type" in record
+
+
+def test_histogram_reports_percentiles():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("svc", buckets=[10, 100, 1000], help="ns")
+    for value in range(1, 101):  # 1..100
+        histogram.observe(value)
+    (sample,) = histogram.samples()
+    assert sample["count"] == 100
+    assert sample["p50"] == pytest.approx(50.5)
+    assert sample["p95"] == pytest.approx(95.05)
+    assert sample["p99"] == pytest.approx(99.01)
+    # Rendered lines carry the percentiles alongside count/sum.
+    line = [l for l in registry.render().splitlines() if l.startswith("svc")][0]
+    assert "p50=" in line and "p95=" in line and "p99=" in line
+
+
+def test_nvme_service_time_histogram_from_chain_workload():
+    bus = TraceBus(enabled=True)
+    registry = MetricsRegistry()
+    attach_standard_metrics(bus, registry)
+    _, kernel, bpf, proc, fd = chain_machine(bus=bus)
+    run_chain(kernel, bpf, proc, fd)
+    histogram = registry.get("nvme_service_time_ns")
+    (sample,) = histogram.samples()
+    # Every completed NVMe command carried its device service time.
+    assert sample["count"] == len(ORDER)
+    assert sample["sum"] > 0
+    assert sample["p50"] > 0
+    # Cumulative bucket counts are monotone and end at the sample count.
+    counts = [sample["buckets"][str(b)] for b in histogram.buckets]
+    assert counts == sorted(counts)
+    assert counts[-1] <= sample["count"]

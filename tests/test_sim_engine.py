@@ -240,3 +240,72 @@ def test_immediate_event_resumes_without_time_passing():
         return value, sim.now
 
     assert sim.run_process(proc(sim)) == ("early", 0)
+
+
+# -- deterministic ordering under timestamp ties ---------------------------
+
+
+def _tie_workload():
+    """Many processes landing on the same timestamps from mixed paths.
+
+    Zero timeouts, equal timeouts, and pre-fired events all collide on
+    the same simulated instants; the firing order must be exactly the
+    scheduling order (the heap breaks ties on a monotone sequence
+    number, never on callback identity).
+    """
+    sim = Simulator()
+    order = []
+
+    def sleeper(sim, tag, delay):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    def stepper(sim, tag):
+        yield sim.timeout(0)
+        order.append((tag, 0))
+        yield sim.timeout(10)
+        order.append((tag, 10))
+
+    gate = sim.event()
+    gate.succeed(None)
+
+    def waiter(sim, tag):
+        yield gate
+        order.append(tag)
+
+    for tag in ("s1", "s2"):
+        sim.spawn(stepper(sim, tag))
+    sim.spawn(sleeper(sim, "a", 10))
+    sim.spawn(waiter(sim, "w1"))
+    sim.spawn(sleeper(sim, "b", 10))
+    sim.spawn(waiter(sim, "w2"))
+    sim.spawn(sleeper(sim, "c", 0))
+    sim.run()
+    return order
+
+
+def test_timestamp_ties_fire_in_schedule_order():
+    order = _tie_workload()
+    # Pre-fired gates resume their waiters during the spawn pass itself
+    # (no heap round trip), then the t=0 timeout ties fire in schedule
+    # order, then the t=10 ties — again in the order the resumes were
+    # put on the heap (a/b enqueued at first resume, s1/s2 only when
+    # their t=0 step ran).
+    assert order == ["w1", "w2", ("s1", 0), ("s2", 0), "c", "a", "b",
+                     ("s1", 10), ("s2", 10)]
+
+
+def test_tie_order_is_reproducible():
+    assert _tie_workload() == _tie_workload()
+
+
+def test_tie_order_identical_with_profiler_enabled():
+    # The profiled dispatch path (Event._fire_profiled) must preserve
+    # callback order exactly — observation never perturbs ordering.
+    from repro.perf import profiling
+
+    plain = _tie_workload()
+    with profiling() as prof:
+        profiled = _tie_workload()
+    assert profiled == plain
+    assert prof.events_dispatched > 0
