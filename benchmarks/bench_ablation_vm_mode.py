@@ -1,9 +1,11 @@
-"""Ablation: eBPF interpreter vs JIT on the completion path (§3).
+"""Ablation: eBPF interpreter vs JIT vs fused blocks on the completion path.
 
 The paper notes programs "can be executed either using an interpreter or a
 just-in-time (JIT) compiler".  The per-hop BPF cost sits directly on the
 device's completion path, so execution mode shifts end-to-end latency by
-(insns x cost-delta) per hop.
+(insns x cost-delta) per hop.  The third tier (``block``, the simulator's
+default) charges the same simulated cost as ``jit`` — its win is simulator
+wall-clock, which this bench's harness timing captures.
 """
 
 import sys
@@ -20,9 +22,12 @@ SMOKE = {"depth": 3, "operations": 20}
 
 def check_shape(rows):
     by_mode = {row["mode"]: row for row in rows}
-    # JIT is never slower, and both beat the baseline.
+    # Compiled tiers are never slower, and every tier beats the baseline.
     assert by_mode["jit"]["mean_latency_us"] <= \
         by_mode["interp"]["mean_latency_us"]
+    # block models the same per-hop cost as jit: identical simulated time.
+    assert by_mode["block"]["mean_latency_us"] == \
+        by_mode["jit"]["mean_latency_us"]
     assert by_mode["interp"]["speedup_vs_baseline"] > 1.0
 
 
@@ -30,7 +35,7 @@ def test_ablation_vm_mode(benchmark):
     rows = benchmark.pedantic(ablation_vm_mode, kwargs=FULL,
                               rounds=1, iterations=1)
     print()
-    print(format_table("Ablation — interpreter vs JIT", COLUMNS, rows))
+    print(format_table("Ablation — interp vs jit vs block", COLUMNS, rows))
     by_mode = {row["mode"]: row for row in rows}
     benchmark.extra_info["jit_gain_pct"] = round(
         100 * (1 - by_mode["jit"]["mean_latency_us"] /
@@ -43,17 +48,20 @@ def test_ablation_vm_mode(benchmark):
     # design works even with the interpreter.
     assert by_mode["jit"]["mean_latency_us"] > \
         0.90 * by_mode["interp"]["mean_latency_us"]
+    # The fused-block tier models the same per-hop cost as the JIT.
+    assert by_mode["block"]["mean_latency_us"] == \
+        by_mode["jit"]["mean_latency_us"]
 
 
 SPEC = harness.BenchSpec(
     name="ablation_vm_mode",
-    title="Ablation — interpreter vs JIT",
+    title="Ablation — interp vs jit vs block",
     func=ablation_vm_mode,
     columns=COLUMNS,
     full=FULL,
     smoke=SMOKE,
     check=check_shape,
-    shape_note="jit <= interp latency, both beat baseline",
+    shape_note="jit <= interp latency, block == jit, all beat baseline",
     metric_cols=["mean_latency_us", "speedup_vs_baseline"],
 )
 

@@ -8,7 +8,7 @@ lookup implementations being compared — application-level traversal
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core import Hook, StorageBpf
 from repro.core.library import index_traversal_program
@@ -18,13 +18,74 @@ from repro.kernel import CostModel, Kernel, KernelConfig
 from repro.obs import events as obs_events
 from repro.sim import LatencyRecorder, RandomStreams, Simulator, ThroughputMeter
 from repro.structures import BTree, FsBackend
-from repro.structures.pages import PAGE_SIZE, search_page
+from repro.structures.pages import PAGE_SIZE, FileBackend, search_page
 
 __all__ = ["BtreeBench", "NVM2_BENCH", "choose_fanout", "run_closed_loop"]
 
 #: The deterministic gen-2 Optane used by all Figure 3 experiments.
 NVM2_BENCH = LatencyModel("nvm2", read_ns=3224, write_ns=3600,
                           parallelism=7, jitter=0.0)
+
+# Verify-once cache: the traversal program for a given fanout is pure and
+# stateless, and every experiment variant (per mode, per depth, per round)
+# builds a fresh BtreeBench around the same program.  Static verification
+# was the single largest cost of small benchmark runs; sharing the verified
+# Program is exactly the paper's install contract (verify once, reuse).
+_PROGRAM_CACHE: Dict[int, "object"] = {}
+
+
+def _bench_program(fanout: int):
+    program = _PROGRAM_CACHE.get(fanout)
+    if program is None:
+        program = _PROGRAM_CACHE[fanout] = index_traversal_program(
+            fanout=fanout)
+    return program
+
+
+class _MemBackend(FileBackend):
+    """In-memory backend for building cacheable tree images."""
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def _grow(self, end: int) -> None:
+        if len(self.data) < end:
+            self.data.extend(bytes(end - len(self.data)))
+
+    def read(self, offset: int, length: int) -> bytes:
+        return bytes(self.data[offset:offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._grow(offset + len(data))
+        self.data[offset:offset + len(data)] = data
+
+    def preallocate(self, offset: int, length: int) -> None:
+        self._grow(offset + length)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+# Built-tree image cache.  The tree for a (depth, fanout) pair is a pure
+# function of those two numbers, but every experiment variant used to
+# re-serialise it page by page through the simulated FS — thousands of
+# untimed write_sync transactions per BtreeBench.  Building the byte image
+# once and blitting it with two bulk writes leaves the FS, extent, and
+# media state identical (same preallocation burst, same bytes, meta block
+# still allocated last) while skipping the per-page bookkeeping.
+_TREE_IMAGE_CACHE: Dict[Tuple[int, int], bytes] = {}
+
+
+def _tree_image(depth: int, fanout: int) -> bytes:
+    image = _TREE_IMAGE_CACHE.get((depth, fanout))
+    if image is None:
+        num_keys = BTree.keys_for_depth(depth, fanout)
+        mem = _MemBackend()
+        BTree.build(mem, [(key * 3 + 1, key) for key in range(num_keys)],
+                    fanout=fanout)
+        image = _TREE_IMAGE_CACHE[(depth, fanout)] = bytes(mem.data)
+    return image
 
 
 def run_closed_loop(sim: Simulator, thread_count: int, duration_ns: int,
@@ -76,6 +137,7 @@ class BtreeBench:
                  model: LatencyModel = NVM2_BENCH,
                  cost_model: Optional[CostModel] = None,
                  fanout: Optional[int] = None, jit: bool = True,
+                 vm_mode: Optional[str] = None,
                  max_chain_hops: int = 64, queue_pairs: int = 1,
                  irq_steering: Optional[bool] = None):
         self.depth = depth
@@ -89,16 +151,21 @@ class BtreeBench:
         self.kernel = Kernel(self.sim, model, config)
         self.bpf = StorageBpf(self.kernel, max_chain_hops=max_chain_hops)
         self.jit = jit
+        self.vm_mode = vm_mode
         inode = self.kernel.fs.create("/index")
-        items = [(key * 3 + 1, key) for key in range(num_keys)]
-        self.tree = BTree.build(FsBackend(self.kernel.fs, inode), items,
-                                fanout=self.fanout)
+        image = _tree_image(depth, self.fanout)
+        backend = FsBackend(self.kernel.fs, inode)
+        backend.preallocate(PAGE_SIZE, len(image) - PAGE_SIZE)
+        backend.write(PAGE_SIZE, image[PAGE_SIZE:])
+        backend.write(0, image[:PAGE_SIZE])
+        self.tree = BTree(backend)
         if self.tree.depth != depth:
             raise InvalidArgument(
                 f"built depth {self.tree.depth}, wanted {depth}")
         self.keys = [key * 3 + 1 for key in range(num_keys)]
-        self.program = index_traversal_program(fanout=self.fanout)
-        self.bpf.verify_program(self.program)
+        self.program = _bench_program(self.fanout)
+        if not self.program.verified:
+            self.bpf.verify_program(self.program)
         self.streams = RandomStreams(seed)
 
     # ------------------------------------------------------------------
@@ -146,7 +213,7 @@ class BtreeBench:
             proc = kernel.spawn_process(f"chain-{index}")
             fd = yield from kernel.sys_open(proc, "/index")
             yield from self.bpf.install(proc, fd, self.program, hook=hook,
-                                        jit=self.jit)
+                                        jit=self.jit, vm_mode=self.vm_mode)
             next_key = self._key_stream(index)
             root = self.tree.meta.root_offset
 

@@ -68,6 +68,9 @@ class InstallRequest:
     args: Tuple[int, ...] = ()
     maps: Optional[Dict[int, BpfMap]] = None
     jit: bool = True
+    #: Execution tier ("interp" | "jit" | "block").  None defers to the
+    #: legacy ``jit`` flag: False -> interp, True -> block (the default).
+    vm_mode: Optional[str] = None
 
     def __post_init__(self):
         if not isinstance(self.program, Program):
@@ -86,6 +89,10 @@ class InstallRequest:
             raise InvalidArgument(
                 f"args: at most 4 install args, got {len(self.args)}")
         object.__setattr__(self, "maps", dict(self.maps or {}))
+        if self.vm_mode is not None and \
+                self.vm_mode not in ("interp", "jit", "block"):
+            raise InvalidArgument(
+                f"vm_mode: unknown execution tier {self.vm_mode!r}")
 
 
 class StorageBpf:
@@ -132,7 +139,7 @@ class StorageBpf:
         env.trace_bus = self.kernel.bus
         installation = BpfInstallation(
             program, arg.hook, arg.block_size, arg.scratch_size, env,
-            default_args=arg.args, jit=arg.jit)
+            default_args=arg.args, jit=arg.jit, vm_mode=arg.vm_mode)
         # Propagate the file's extents to the NVMe layer (paper §4).
         yield from self.kernel.cpus.run_thread(
             self.kernel.cost.ioctl_install_ns)
@@ -165,7 +172,8 @@ class StorageBpf:
     def install(self, proc: Process, fd: int, program: Program,
                 hook: Hook = Hook.NVME, block_size: int = 4096,
                 scratch_size: int = 256, args: Tuple[int, ...] = (),
-                maps: Optional[Dict[int, BpfMap]] = None, jit: bool = True):
+                maps: Optional[Dict[int, BpfMap]] = None, jit: bool = True,
+                vm_mode: Optional[str] = None):
         """Install a program on ``fd`` via the special ioctl.
 
         Field validation (positive sizes, at most four args) happens in
@@ -174,7 +182,7 @@ class StorageBpf:
         """
         request = InstallRequest(program, hook=hook, block_size=block_size,
                                  scratch_size=scratch_size, args=args,
-                                 maps=maps, jit=jit)
+                                 maps=maps, jit=jit, vm_mode=vm_mode)
         result = yield from self.kernel.sys_ioctl(proc, fd,
                                                   IOCTL_INSTALL_BPF, request)
         return result
@@ -183,7 +191,8 @@ class StorageBpf:
                    hook: Hook = Hook.NVME, block_size: int = 4096,
                    scratch_size: int = 256, args: Tuple[int, ...] = (),
                    maps: Optional[Dict[int, BpfMap]] = None,
-                   jit: bool = True, create: bool = False):
+                   jit: bool = True, vm_mode: Optional[str] = None,
+                   create: bool = False):
         """Open ``path`` and install ``program`` in one step.
 
         Generator returning a :class:`~repro.core.handle.ChainHandle`
@@ -197,7 +206,7 @@ class StorageBpf:
             yield from self.install(proc, fd, program, hook=hook,
                                     block_size=block_size,
                                     scratch_size=scratch_size, args=args,
-                                    maps=maps, jit=jit)
+                                    maps=maps, jit=jit, vm_mode=vm_mode)
         except Exception:
             proc.close_fd(fd)
             raise

@@ -131,7 +131,7 @@ def storage_helpers() -> HelperRegistry:
     )
 
     def trace_offset(vm, offset: int) -> int:
-        vm.trace_log.append(offset & 0xFFFFFFFFFFFFFFFF)
+        vm.trace_append(offset & 0xFFFFFFFFFFFFFFFF)
         bus = getattr(vm.env, "trace_bus", None)
         if bus is not None and bus.enabled:
             from repro.obs import events as obs_events  # lazy: hot path

@@ -136,7 +136,7 @@ def base_registry() -> HelperRegistry:
     registry = HelperRegistry()
 
     def trace(vm, value: int) -> int:
-        vm.trace_log.append(value & 0xFFFFFFFFFFFFFFFF)
+        vm.trace_append(value & 0xFFFFFFFFFFFFFFFF)
         return 0
 
     registry.register(

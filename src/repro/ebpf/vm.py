@@ -1,12 +1,16 @@
 """Execution engines for verified programs.
 
-Two modes with identical semantics and identical runtime safety checks:
+Three modes with identical semantics and identical runtime safety checks:
 
 * ``interp`` — decode-and-dispatch per instruction (the kernel's
   interpreter).
 * ``jit`` — each instruction is pre-compiled to a Python closure once at
-  load time (standing in for the kernel's JIT; the ablation benchmark
-  compares the two).
+  load time (standing in for the kernel's JIT).
+* ``block`` — the default: at load time the verified program is split
+  into basic blocks and each straight-line run is fused into a single
+  generated Python function (instruction budget checked once per block,
+  no per-instruction pc bounds check, registers bound to a local), with
+  block-to-block dispatch.  The ablation benchmark compares all three.
 
 Memory model.  Registers hold either 64-bit unsigned integers or
 :class:`Pointer` values tagged with the :class:`Region` they point into.
@@ -20,9 +24,10 @@ only allowed to fields the layout marks writable.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from time import perf_counter_ns
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import VmFault
 from repro.perf.profiler import get_default_profiler
@@ -115,7 +120,7 @@ class Vm:
     def __init__(self, program: Program, env: VmEnvironment,
                  mode: str = "interp", max_instructions: int = 1_000_000,
                  require_verified: bool = True):
-        if mode not in ("interp", "jit"):
+        if mode not in ("interp", "jit", "block"):
             raise VmFault(f"unknown execution mode {mode!r}")
         if require_verified and not program.verified:
             raise VmFault(
@@ -125,11 +130,33 @@ class Vm:
         self.env = env
         self.mode = mode
         self.max_instructions = max_instructions
-        self.trace_log: List[int] = []
+        self._trace: List[int] = []
         self._compiled = None
+        self._blocks: Optional[_BlockProgram] = None
         self._opclasses: Optional[List[str]] = None  # lazy; profiling only
         if mode == "jit":
             self._compiled = [self._compile_insn(i) for i in program.instructions]
+        elif mode == "block":
+            self._blocks = _block_program_for(program, max_instructions)
+
+    @property
+    def trace_log(self) -> List[int]:
+        """Deprecated alias for the most recent run's trace.
+
+        The trace is per-run state: read it from the
+        :class:`ExecutionResult` a run returns.  This attribute only ever
+        reflects the newest run, so a shared ``Vm`` (one installation,
+        many chain executions) silently loses earlier runs through it.
+        """
+        warnings.warn(
+            "Vm.trace_log is deprecated: read trace_log from the "
+            "ExecutionResult returned by Vm.run()",
+            DeprecationWarning, stacklevel=2)
+        return self._trace
+
+    def trace_append(self, value: int) -> None:
+        """Append to the *current run's* trace (helper support)."""
+        self._trace.append(value)
 
     # ------------------------------------------------------------------
     # Memory access (also used by helper implementations)
@@ -200,11 +227,16 @@ class Vm:
                 )
 
         state = _RunState(self, ctx, region_objs)
-        self.trace_log = state.trace_log
+        # The trace lives in the run's state (and travels out in the
+        # ExecutionResult); helpers reach it through trace_append.
+        self._trace = state.trace_log
         profiler = get_default_profiler()
         if profiler.enabled:
             return self._run_profiled(state, profiler)
-        if self.mode == "jit":
+        mode = self.mode
+        if mode == "block":
+            return self._run_block(state)
+        if mode == "jit":
             return self._run_compiled(state)
         return self._run_interp(state)
 
@@ -232,9 +264,14 @@ class Vm:
         """Pre-bind one instruction to a closure ``fn(state, pc) -> next_pc``."""
         return _compile(insn)
 
-    def _run_compiled(self, state: "_RunState") -> ExecutionResult:
+    def _run_compiled(self, state: "_RunState",
+                      pc: int = 0) -> ExecutionResult:
         compiled = self._compiled
-        pc = 0
+        if compiled is None:
+            # Block mode compiles per-insn closures lazily: they are only
+            # needed for the rare budget-exhaustion tail of a block.
+            compiled = self._compiled = [
+                self._compile_insn(i) for i in self.program.instructions]
         limit = self.max_instructions
         while True:
             if state.executed >= limit:
@@ -247,6 +284,41 @@ class Vm:
                 break
             pc = next_pc
         return state.result()
+
+    # -- block mode -------------------------------------------------------
+
+    def _run_block(self, state: "_RunState") -> ExecutionResult:
+        """Dispatch fused basic blocks until exit.
+
+        A block function returns the next block index, ``-1`` on exit, or
+        ``-2`` when its hoisted budget check sees the budget running out
+        inside the block — that tail re-runs per-instruction so the fault
+        lands on exactly the same instruction (with the same executed
+        count) as the other tiers.
+        """
+        blocks = self._blocks
+        funcs = blocks.funcs
+        idx = 0
+        nxt = 0
+        try:
+            while True:
+                nxt = funcs[idx](state)
+                if nxt < 0:
+                    break
+                idx = nxt
+        except VmFault as fault:
+            # The fused fast path charges the whole block up front; put
+            # the count back to "instructions actually retired" when the
+            # fault names an instruction inside the current block.
+            start = blocks.starts[idx]
+            size = blocks.sizes[idx]
+            if start <= fault.pc < start + size:
+                state.executed += fault.pc - start + 1 - size
+            raise
+        if nxt == -1:
+            return state.result()
+        # Budget tail (-2): finish per-instruction from the block start.
+        return self._run_compiled(state, pc=blocks.starts[idx])
 
     # -- profiled mode ----------------------------------------------------
 
@@ -398,11 +470,22 @@ def _load(state: _RunState, base: Any, offset: int, size: int, pc: int) -> Any:
             return Pointer(target, 0)
         raw = state.ctx[addr : addr + size]
         return int.from_bytes(raw, "little")
-    # Stack loads may restore a spilled pointer.
-    if region is state.stack_region and size == 8:
-        spilled = state.stack_ptr_slots.get(addr)
-        if spilled is not None:
-            return spilled
+    # Stack loads may restore a spilled pointer; anything short of a full
+    # aligned 8-byte read over a spilled slot is rejected the way the
+    # kernel rejects partial reads of spilled pointers (the raw bytes are
+    # poison, never data).
+    if region is state.stack_region:
+        slots = state.stack_ptr_slots
+        if slots:
+            if size == 8:
+                spilled = slots.get(addr)
+                if spilled is not None:
+                    return spilled
+            for slot in slots:
+                if slot < addr + size and addr < slot + 8:
+                    raise VmFault(
+                        f"partial read of spilled pointer at stack+{slot}",
+                        pc)
     data = state.vm.mem_read(Pointer(region, addr), size)
     return int.from_bytes(data, "little")
 
@@ -435,7 +518,7 @@ def _store(state: _RunState, base: Any, offset: int, size: int, value: Any,
         state.stack_ptr_slots[addr] = value
         state.stack[addr : addr + 8] = b"\xff" * 8  # poison raw view
         return
-    if region is state.stack_region:
+    if region is state.stack_region and state.stack_ptr_slots:
         # A scalar store over a spilled pointer invalidates the spill.
         for slot in list(state.stack_ptr_slots):
             if slot < addr + size and addr < slot + 8:
@@ -541,54 +624,95 @@ def _call_helper(state: _RunState, helper_id: int, pc: int) -> None:
         state.regs[0] = _as_scalar(result, "helper return", pc) & U64
 
 
+_ALU_BASES = ("add", "sub", "mul", "div", "mod", "or", "and", "xor", "lsh",
+              "rsh", "arsh", "mov", "neg")
+
+# Opcode kinds for the interpreter's decode cache: the mnemonic string is
+# parsed once per distinct opcode, not once per executed instruction.
+(_K_ALU, _K_JMP, _K_LDX, _K_STX, _K_ST, _K_CALL, _K_JA, _K_LDDW, _K_EXIT,
+ _K_BAD) = range(10)
+
+_DECODE: Dict[str, Tuple[int, str, bool, int]] = {}
+
+
+def _decode_op(op: str) -> Tuple[int, str, bool, int]:
+    """Parse one mnemonic into ``(kind, alu_base, is32, mem_size)``."""
+    if op == "exit":
+        info = (_K_EXIT, "", False, 0)
+    elif op == "call":
+        info = (_K_CALL, "", False, 0)
+    elif op == "ja":
+        info = (_K_JA, "", False, 0)
+    elif op == "lddw":
+        info = (_K_LDDW, "", False, 0)
+    elif op in _JMP_FN:
+        info = (_K_JMP, "", False, 0)
+    elif op.startswith("ldx"):
+        info = (_K_LDX, "", False, MEM_SIZES[op[3:]])
+    elif op.startswith("stx"):
+        info = (_K_STX, "", False, MEM_SIZES[op[3:]])
+    elif op.startswith("st"):
+        info = (_K_ST, "", False, MEM_SIZES[op[2:]])
+    else:
+        is32 = op.endswith("32")
+        base = op[:-2] if is32 else op
+        if base in _ALU_BASES:
+            info = (_K_ALU, base, is32, 0)
+        else:
+            info = (_K_BAD, "", False, 0)
+    _DECODE[op] = info
+    return info
+
+
 def _step(state: _RunState, insn, pc: int) -> Optional[int]:
     """Execute one instruction; returns next pc or None on exit."""
     op = insn.opcode
+    info = _DECODE.get(op) or _decode_op(op)
+    kind = info[0]
     regs = state.regs
 
-    if op == "exit":
-        return None
-    if op == "call":
-        _call_helper(state, insn.imm, pc)
-        return pc + 1
-    if op == "ja":
-        return pc + 1 + insn.offset
-    if op == "lddw":
-        regs[insn.dst] = insn.imm & U64
-        return pc + 1
-
-    base = op[:-2] if op.endswith("32") else op
-    if base in ("add", "sub", "mul", "div", "mod", "or", "and", "xor", "lsh",
-                "rsh", "arsh", "mov", "neg"):
+    if kind == _K_ALU:
+        base = info[1]
         if insn.dst == FP_REG:
             raise VmFault("write to frame pointer r10", pc)
         if base == "neg":
-            regs[insn.dst] = _alu(state, "neg", op.endswith("32"),
-                                  regs[insn.dst], 0, pc)
+            regs[insn.dst] = _alu(state, "neg", info[2], regs[insn.dst], 0,
+                                  pc)
             return pc + 1
         src_val = regs[insn.src] if insn.src_is_reg else insn.imm & U64
-        regs[insn.dst] = _alu(state, base, op.endswith("32"), regs[insn.dst],
+        regs[insn.dst] = _alu(state, base, info[2], regs[insn.dst],
                               src_val, pc)
         return pc + 1
 
-    if op in _JMP_FN:
+    if kind == _K_JMP:
         a = regs[insn.dst]
         b = regs[insn.src] if insn.src_is_reg else insn.imm & U64
         if _jump_compare(op, a, b, pc):
             return pc + 1 + insn.offset
         return pc + 1
 
-    if op.startswith("ldx"):
-        size = MEM_SIZES[op[3:]]
-        regs[insn.dst] = _load(state, regs[insn.src], insn.offset, size, pc)
+    if kind == _K_LDX:
+        regs[insn.dst] = _load(state, regs[insn.src], insn.offset, info[3],
+                               pc)
         return pc + 1
-    if op.startswith("stx"):
-        size = MEM_SIZES[op[3:]]
-        _store(state, regs[insn.dst], insn.offset, size, regs[insn.src], pc)
+    if kind == _K_STX:
+        _store(state, regs[insn.dst], insn.offset, info[3], regs[insn.src],
+               pc)
         return pc + 1
-    if op.startswith("st"):
-        size = MEM_SIZES[op[2:]]
-        _store(state, regs[insn.dst], insn.offset, size, insn.imm & U64, pc)
+    if kind == _K_ST:
+        _store(state, regs[insn.dst], insn.offset, info[3], insn.imm & U64,
+               pc)
+        return pc + 1
+
+    if kind == _K_EXIT:
+        return None
+    if kind == _K_CALL:
+        _call_helper(state, insn.imm, pc)
+        return pc + 1
+    if kind == _K_JA:
+        return pc + 1 + insn.offset
+    if kind == _K_LDDW:
+        regs[insn.dst] = insn.imm & U64
         return pc + 1
 
     raise VmFault(f"unknown opcode {op!r}", pc)
@@ -704,3 +828,344 @@ def _compile(insn) -> Callable[[_RunState, int], Optional[int]]:
         return do_st
 
     raise VmFault(f"cannot compile opcode {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Block compilation (the default execution tier)
+# ---------------------------------------------------------------------------
+#
+# At load time the verified program is split into basic blocks (leaders =
+# entry, jump targets, and fall-throughs of jumps/exits).  Each block is
+# fused into ONE generated Python function:
+#
+#   * the instruction budget is checked once per block (the per-insn tail
+#     only runs when the budget would expire inside the block),
+#   * there is no per-instruction pc bounds check — control flow between
+#     blocks is by returned block index, and every in-range target was
+#     resolved at compile time,
+#   * the register file is bound to a local once per block.
+#
+# Fast paths are guarded with exact ``__class__ is int`` checks; anything
+# else (pointers, faults) falls back to the shared `_alu`/`_load`/`_store`/
+# `_jump_compare` routines so fault messages and semantics stay identical
+# to the other tiers.  Register invariant relied on throughout: integer
+# register values are always already reduced to [0, 2**64).
+
+class _BlockProgram:
+    """Fused basic blocks of one program at one instruction budget."""
+
+    __slots__ = ("funcs", "starts", "sizes")
+
+    def __init__(self, funcs: List[Callable[["_RunState"], int]],
+                 starts: List[int], sizes: List[int]):
+        self.funcs = funcs
+        self.starts = starts
+        self.sizes = sizes
+
+
+# Int-only expression templates.  They reproduce `_alu`'s results exactly
+# for in-range integer operands (see the invariant above), skipping masks
+# that are provably no-ops.
+_EXPR64 = {
+    "add": "({a} + {b}) & U64",
+    "sub": "({a} - {b}) & U64",
+    "mul": "({a} * {b}) & U64",
+    "or": "{a} | {b}",
+    "and": "{a} & {b}",
+    "xor": "{a} ^ {b}",
+    "lsh": "({a} << ({b} & 63)) & U64",
+    "rsh": "{a} >> ({b} & 63)",
+    "arsh": "(_s64({a}) >> ({b} & 63)) & U64",
+    "div": "0 if {b} == 0 else {a} // {b}",
+    "mod": "{a} if {b} == 0 else {a} % {b}",
+}
+_EXPR32 = {
+    "add": "(({a} & U32) + ({b} & U32)) & U32",
+    "sub": "(({a} & U32) - ({b} & U32)) & U32",
+    "mul": "(({a} & U32) * ({b} & U32)) & U32",
+    "or": "({a} & U32) | ({b} & U32)",
+    "and": "{a} & {b} & U32",
+    "xor": "(({a} & U32) ^ ({b} & U32))",
+    "lsh": "(({a} & U32) << ({b} & 31)) & U32",
+    "rsh": "({a} & U32) >> ({b} & 31)",
+    "arsh": "(_s32({a} & U32) >> ({b} & 31)) & U32",
+    "div": "0 if ({b} & U32) == 0 else ({a} & U32) // ({b} & U32)",
+    "mod": "({a} & U32) if ({b} & U32) == 0 else ({a} & U32) % ({b} & U32)",
+}
+_COND = {
+    "jeq": "{a} == {b}",
+    "jne": "{a} != {b}",
+    "jgt": "{a} > {b}",
+    "jge": "{a} >= {b}",
+    "jlt": "{a} < {b}",
+    "jle": "{a} <= {b}",
+    "jset": "({a} & {b}) != 0",
+    "jsgt": "_s64({a}) > _s64({b})",
+    "jsge": "_s64({a}) >= _s64({b})",
+    "jslt": "_s64({a}) < _s64({b})",
+    "jsle": "_s64({a}) <= _s64({b})",
+}
+
+
+def _emit_alu(body: List[str], insn, pc: int, base: str, is32: bool) -> None:
+    dst = insn.dst
+    if dst == FP_REG:
+        body.append(f"raise VmFault('write to frame pointer r10', {pc})")
+        return
+    d = f"regs[{dst}]"
+    if base == "mov":
+        if insn.src_is_reg:
+            if is32:
+                body.append(f"_a = regs[{insn.src}]")
+                body.append("if _a.__class__ is int:")
+                body.append(f"    {d} = _a & U32")
+                body.append("else:")
+                body.append(
+                    f"    {d} = _alu(state, 'mov', True, 0, _a, {pc})")
+            else:
+                body.append(f"{d} = regs[{insn.src}]")
+        else:
+            value = insn.imm & U64
+            body.append(f"{d} = {value & U32 if is32 else value}")
+        return
+    if base == "neg":
+        body.append(f"_a = {d}")
+        body.append("if _a.__class__ is int:")
+        if is32:
+            body.append(f"    {d} = (-(_a & U32)) & U32")
+        else:
+            body.append(f"    {d} = (-_a) & U64")
+        body.append("else:")
+        body.append(f"    {d} = _alu(state, 'neg', {is32}, _a, 0, {pc})")
+        return
+    table = _EXPR32 if is32 else _EXPR64
+    if insn.src_is_reg:
+        body.append(f"_a = {d}")
+        body.append(f"_b = regs[{insn.src}]")
+        body.append("if _a.__class__ is int and _b.__class__ is int:")
+        body.append(f"    {d} = {table[base].format(a='_a', b='_b')}")
+        body.append("else:")
+        body.append(f"    {d} = _alu(state, {base!r}, {is32}, _a, _b, {pc})")
+    else:
+        const = insn.imm & U64
+        body.append(f"_a = {d}")
+        body.append("if _a.__class__ is int:")
+        body.append(f"    {d} = {table[base].format(a='_a', b=const)}")
+        body.append("else:")
+        body.append(
+            f"    {d} = _alu(state, {base!r}, {is32}, _a, {const}, {pc})")
+
+
+def _emit_jump(body: List[str], insn, pc: int, op: str,
+               taken: str, fall: str) -> None:
+    if insn.src_is_reg:
+        body.append(f"_a = regs[{insn.dst}]")
+        body.append(f"_b = regs[{insn.src}]")
+        body.append("if _a.__class__ is int and _b.__class__ is int:")
+        body.append(f"    if {_COND[op].format(a='_a', b='_b')}:")
+        body.append(f"        {taken}")
+        body.append(f"    {fall}")
+        body.append(f"if _jump_compare({op!r}, _a, _b, {pc}):")
+    else:
+        const = insn.imm & U64
+        body.append(f"_a = regs[{insn.dst}]")
+        body.append("if _a.__class__ is int:")
+        body.append(f"    if {_COND[op].format(a='_a', b=const)}:")
+        body.append(f"        {taken}")
+        body.append(f"    {fall}")
+        body.append(f"if _jump_compare({op!r}, _a, {const}, {pc}):")
+    body.append(f"    {taken}")
+    body.append(fall)
+
+
+def _emit_load(body: List[str], insn, pc: int, size: int) -> None:
+    dst, src, off = insn.dst, insn.src, insn.offset
+    slow = f"regs[{dst}] = _load(state, _p, {off}, {size}, {pc})"
+    body.append(f"_p = regs[{src}]")
+    body.append("if _p.__class__ is Pointer:")
+    body.append("    _r = _p.region")
+    body.append(f"    _o = _p.offset + {off}")
+    body.append("    if (_r is state.ctx_region"
+                " or (_r is state.stack_region and state.stack_ptr_slots)"
+                " or not _r.readable"
+                f" or _o < 0 or _o + {size} > len(_r.data)):")
+    body.append(f"        {slow}")
+    body.append("    else:")
+    if size == 1:
+        body.append(f"        regs[{dst}] = _r.data[_o]")
+    else:
+        body.append(f"        regs[{dst}] = "
+                    f"_from_bytes(_r.data[_o:_o + {size}], 'little')")
+    body.append("else:")
+    body.append(f"    {slow}")
+
+
+def _emit_store(body: List[str], insn, pc: int, size: int,
+                value_reg: Optional[int]) -> None:
+    off = insn.offset
+    mask = (1 << (8 * size)) - 1
+    if value_reg is None:
+        const = insn.imm & U64
+        value = str(const)
+        guard = "if _p.__class__ is Pointer:"
+        fast = (f"_r.data[_o] = {const & mask}" if size == 1 else
+                f"_r.data[_o:_o + {size}] = {(const & mask).to_bytes(size, 'little')!r}")
+    else:
+        value = "_v"
+        body.append(f"_v = regs[{value_reg}]")
+        guard = "if _p.__class__ is Pointer and _v.__class__ is int:"
+        fast = (f"_r.data[_o] = _v & 255" if size == 1 else
+                f"_r.data[_o:_o + {size}] = "
+                f"(_v & {mask}).to_bytes({size}, 'little')")
+    slow = f"_store(state, _p, {off}, {size}, {value}, {pc})"
+    body.append(f"_p = regs[{insn.dst}]")
+    body.append(guard)
+    body.append("    _r = _p.region")
+    body.append(f"    _o = _p.offset + {off}")
+    body.append("    if (_r is state.ctx_region or _r is state.stack_region"
+                " or not _r.writable"
+                f" or _o < 0 or _o + {size} > len(_r.data)):")
+    body.append(f"        {slow}")
+    body.append("    else:")
+    body.append(f"        {fast}")
+    body.append("else:")
+    body.append(f"    {slow}")
+
+
+def _bad_jump(state: "_RunState", target: int, limit: int) -> None:
+    """Fault for a jump landing outside the program.
+
+    Reproduces the interpreter's loop-top check order exactly: budget
+    first, then the pc bounds fault (only reachable with verification
+    disabled — the verifier rejects out-of-range targets).
+    """
+    if state.executed >= limit:
+        raise VmFault("instruction budget exhausted", target)
+    raise VmFault(f"pc {target} out of program", target)
+
+
+def _branch_stmt(target: int, count: int,
+                 index_of: Dict[int, int], limit: int) -> str:
+    """Single-line statement for a taken jump to ``target``."""
+    if 0 <= target < count:
+        return f"return {index_of[target]}"
+    return f"return _bad_jump(state, {target}, {limit})"
+
+
+def _fuse_block(program: Program, start: int, end: int,
+                index_of: Dict[int, int],
+                limit: int) -> Tuple[Callable[["_RunState"], int], int]:
+    """Compile instructions [start, end) into one block function."""
+    insns = program.instructions
+    count = len(insns)
+    ns: Dict[str, Any] = {
+        "_alu": _alu, "_load": _load, "_store": _store,
+        "_call_helper": _call_helper, "_jump_compare": _jump_compare,
+        "_s64": _s64, "_s32": _s32, "U64": U64, "U32": U32,
+        "VmFault": VmFault, "Pointer": Pointer, "_bad_jump": _bad_jump,
+        "_from_bytes": int.from_bytes, "len": len,
+    }
+    body: List[str] = []
+    size = 0
+    terminated = False
+    pc = start
+    while pc < end:
+        insn = insns[pc]
+        op = insn.opcode
+        info = _DECODE.get(op) or _decode_op(op)
+        kind = info[0]
+        size += 1
+        if kind == _K_EXIT:
+            body.append("return -1")
+            terminated = True
+            break
+        if kind == _K_JA:
+            body.append(_branch_stmt(pc + 1 + insn.offset, count,
+                                     index_of, limit))
+            terminated = True
+            break
+        if kind == _K_JMP:
+            taken = _branch_stmt(pc + 1 + insn.offset, count,
+                                 index_of, limit)
+            _emit_jump(body, insn, pc, op, taken,
+                       f"return {index_of[pc + 1]}")
+            terminated = True
+            break
+        if kind == _K_ALU:
+            _emit_alu(body, insn, pc, info[1], info[2])
+        elif kind == _K_LDX:
+            _emit_load(body, insn, pc, info[3])
+        elif kind == _K_STX:
+            _emit_store(body, insn, pc, info[3], insn.src)
+        elif kind == _K_ST:
+            _emit_store(body, insn, pc, info[3], None)
+        elif kind == _K_CALL:
+            body.append(f"_call_helper(state, {insn.imm}, {pc})")
+        elif kind == _K_LDDW:
+            body.append(f"regs[{insn.dst}] = {insn.imm & U64}")
+        else:
+            body.append(f"raise VmFault('unknown opcode {op!r}', {pc})")
+            terminated = True
+            break
+        pc += 1
+    if not terminated:
+        body.append(f"return {index_of[pc]}")
+    lines = ["def _block(state):",
+             f"    executed = state.executed + {size}",
+             f"    if executed > {limit}:",
+             "        return -2",
+             "    state.executed = executed",
+             "    regs = state.regs"]
+    for stmt in body:
+        for line in stmt.split("\n"):
+            lines.append("    " + line)
+    source = "\n".join(lines)
+    code = compile(source, f"<bpf:{program.name}:block@{start}>", "exec")
+    exec(code, ns)
+    return ns["_block"], size
+
+
+def _compile_blocks(program: Program, limit: int) -> _BlockProgram:
+    insns = program.instructions
+    count = len(insns)
+    leaders = {0}
+    for pc, insn in enumerate(insns):
+        op = insn.opcode
+        if op == "ja" or op in _JMP_FN:
+            target = pc + 1 + insn.offset
+            if 0 <= target < count:
+                leaders.add(target)
+            if pc + 1 < count:
+                leaders.add(pc + 1)
+        elif op == "exit" and pc + 1 < count:
+            leaders.add(pc + 1)
+    starts = sorted(leaders)
+    index_of = {start: index for index, start in enumerate(starts)}
+    funcs: List[Callable[["_RunState"], int]] = []
+    sizes: List[int] = []
+    for which, start in enumerate(starts):
+        end = starts[which + 1] if which + 1 < len(starts) else count
+        func, size = _fuse_block(program, start, end, index_of, limit)
+        funcs.append(func)
+        sizes.append(size)
+    return _BlockProgram(funcs, starts, sizes)
+
+
+def _block_program_for(program: Program, limit: int) -> _BlockProgram:
+    """Blocks for ``program`` at budget ``limit``, cached on the program.
+
+    One installation's Program is shared by many Vm instances (chain
+    executions, remote re-verification); compiling once per (program,
+    budget) keeps load cost amortised exactly like the kernel's JIT cache.
+    """
+    cache = getattr(program, "_block_cache", None)
+    if cache is None:
+        cache = {}
+        try:
+            program._block_cache = cache
+        except AttributeError:  # frozen dataclass: compile uncached
+            return _compile_blocks(program, limit)
+    blocks = cache.get(limit)
+    if blocks is None:
+        blocks = cache[limit] = _compile_blocks(program, limit)
+    return blocks

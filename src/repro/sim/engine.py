@@ -22,7 +22,7 @@ order; there is no wall-clock or hash-order dependence anywhere.
 from __future__ import annotations
 
 import heapq
-from itertools import count
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import SimulationError
@@ -143,6 +143,13 @@ class Timeout(Event):
     """An event that fires after a fixed delay.  Created via ``sim.timeout``."""
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        # Coerce here, not just in Simulator.timeout: a float delay on a
+        # directly constructed Timeout would drift sim.now off integer
+        # nanoseconds for every event scheduled after it.
+        try:
+            delay = int(delay)
+        except (TypeError, ValueError):
+            raise SimulationError(f"non-numeric timeout delay: {delay!r}")
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(sim)
@@ -242,12 +249,22 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, sequence, event)."""
+    """The event loop: a priority queue of (time, sequence, event).
+
+    Delay-0 schedules (``succeed``/``fail``, zero timeouts) dominate real
+    workloads, so they bypass the heap entirely and go to a FIFO deque.
+    Order is provably identical to the single-heap design: the clock only
+    moves forward, so every heap entry due at time T was pushed (with a
+    smaller sequence number) before any delay-0 event could be scheduled
+    *at* T — draining heap entries due now before the deque, each side in
+    push order, reproduces the old (time, sequence) order exactly.
+    """
 
     def __init__(self, suppress_crashes: bool = False):
         self._now = 0
         self._heap: List = []
-        self._sequence = count()
+        self._immediate: deque = deque()
+        self._sequence = 0
         #: If True, a crashing process fails silently even with no waiters.
         self.suppress_crashes = suppress_crashes
         # Captured at construction, like Kernel does with the obs bus:
@@ -262,11 +279,15 @@ class Simulator:
     # -- scheduling -----------------------------------------------------------
 
     def _schedule(self, delay: int, event: Event) -> None:
-        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), event))
+        if delay == 0:
+            self._immediate.append(event)
+        else:
+            self._sequence += 1
+            heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """An event that fires ``delay`` nanoseconds from now."""
-        return Timeout(self, int(delay), value)
+        return Timeout(self, delay, value)
 
     def event(self) -> Event:
         """A fresh pending event (trigger it with ``succeed``/``fail``)."""
@@ -286,15 +307,22 @@ class Simulator:
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._heap:
+        heap = self._heap
+        immediate = self._immediate
+        # Heap entries due *now* were scheduled before anything in the
+        # immediate deque could have been (see class docstring).
+        if heap and (not immediate or heap[0][0] <= self._now):
+            when, _seq, event = heapq.heappop(heap)
+            if when < self._now:
+                raise SimulationError("event scheduled in the past")
+            self._now = when
+        elif immediate:
+            event = immediate.popleft()
+        else:
             raise SimulationError("step() with an empty event queue")
-        when, _seq, event = heapq.heappop(self._heap)
-        if when < self._now:
-            raise SimulationError("event scheduled in the past")
-        self._now = when
         profiler = self._profiler
         if profiler.enabled:
-            profiler.on_step(event, len(self._heap))
+            profiler.on_step(event, len(heap) + len(immediate))
             try:
                 event._fire_profiled(profiler)
             finally:
@@ -305,15 +333,35 @@ class Simulator:
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains, or until simulated time ``until``.
 
-        With ``until`` set, the clock is left exactly at ``until`` even if the
-        next event lies beyond it.
+        With ``until`` set, the clock is left exactly at ``until`` even if
+        the next event lies beyond it.  This is ``step()`` unrolled into a
+        tight loop: queue heads are re-read from locals and every event due
+        at the current timestamp fires without a per-callback heap pop.
         """
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
-                self._now = until
-                return
-            self.step()
+        heap = self._heap
+        immediate = self._immediate
+        profiler = self._profiler
+        pop = heapq.heappop
+        while heap or immediate:
+            if immediate and (not heap or heap[0][0] > self._now):
+                event = immediate.popleft()
+            else:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    return
+                when, _seq, event = pop(heap)
+                if when < self._now:
+                    raise SimulationError("event scheduled in the past")
+                self._now = when
+            if profiler.enabled:
+                profiler.on_step(event, len(heap) + len(immediate))
+                try:
+                    event._fire_profiled(profiler)
+                finally:
+                    profiler.end_step()
+            else:
+                event._fire()
         if until is not None and self._now < until:
             self._now = until
 

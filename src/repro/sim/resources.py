@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from itertools import count
 from typing import Any, Generator, List, Optional
 
 from repro.errors import SimulationError
@@ -47,7 +46,7 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiting: List = []
-        self._sequence = count()
+        self._sequence = 0
         # Utilisation accounting: integral of busy slots over time.
         self._busy_time = 0
         self._last_change = sim.now
@@ -65,9 +64,13 @@ class Resource:
         return self._busy_time + self._in_use * (self.sim.now - self._last_change)
 
     def _account(self) -> None:
-        now = self.sim.now
-        self._busy_time += self._in_use * (now - self._last_change)
-        self._last_change = now
+        # Grant/release pairs at the same timestamp are the common case
+        # (uncontended resources); they contribute nothing to the busy-time
+        # integral, so skip the arithmetic entirely.
+        now = self.sim._now
+        if now != self._last_change:
+            self._busy_time += self._in_use * (now - self._last_change)
+            self._last_change = now
 
     def request(self, priority: int = 0) -> Request:
         """Claim a slot; the returned event fires when the slot is granted."""
@@ -75,7 +78,8 @@ class Resource:
         if self._in_use < self.capacity and not self._waiting:
             self._grant(req)
         else:
-            heapq.heappush(self._waiting, (priority, next(self._sequence), req))
+            self._sequence += 1
+            heapq.heappush(self._waiting, (priority, self._sequence, req))
         return req
 
     def _grant(self, req: Request) -> None:

@@ -2,9 +2,10 @@
 
 Three properties:
 
-1. **Differential execution** — interpreter and JIT agree exactly on
-   random straight-line ALU programs, and both match an independent Python
-   reference evaluator.
+1. **Differential execution** — the interpreter, per-instruction JIT,
+   and fused-block compiler agree exactly (full ExecutionResult) on
+   random straight-line ALU programs, and all match an independent
+   Python reference evaluator.
 2. **Verifier soundness (safety)** — any randomly generated structured
    program the verifier *accepts* executes on random inputs without a
    single VM fault (the VM's runtime checks never fire).
@@ -122,15 +123,20 @@ def test_interp_jit_and_reference_agree(steps, seeds):
         regs[dst] = _reference_alu(op, regs[dst], operand, is32)
 
     results = {}
-    for mode in ("interp", "jit"):
+    outputs = {}
+    for mode in ("interp", "jit", "block"):
         vm = Vm(program, VmEnvironment(HELPERS), mode=mode)
         ctx = bytearray(LAYOUT.size)
         for index, seed in enumerate(seeds):
             ctx[40 + 8 * index : 48 + 8 * index] = seed.to_bytes(8, "little")
-        vm.run(ctx, {"data": bytearray(256), "scratch": bytearray(64)})
-        results[mode] = int.from_bytes(ctx[88:96], "little")
+        results[mode] = vm.run(ctx, {"data": bytearray(256),
+                                     "scratch": bytearray(64)})
+        outputs[mode] = int.from_bytes(ctx[88:96], "little")
 
-    assert results["interp"] == results["jit"] == regs[2]
+    assert outputs["interp"] == outputs["jit"] == outputs["block"] == regs[2]
+    # The full ExecutionResult (return value, instruction count, trace,
+    # helper calls) must be identical across all three tiers.
+    assert results["interp"] == results["jit"] == results["block"]
 
 
 # ---------------------------------------------------------------------------
@@ -205,7 +211,7 @@ def test_verified_programs_never_fault(source, arg0, data):
         return  # rejected: nothing to check
     ctx = bytearray(LAYOUT.size)
     ctx[40:48] = arg0.to_bytes(8, "little")
-    for mode in ("interp", "jit"):
+    for mode in ("interp", "jit", "block"):
         vm = Vm(program, VmEnvironment(HELPERS), mode=mode)
         try:
             vm.run(ctx, {"data": bytearray(data),

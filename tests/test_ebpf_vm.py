@@ -1,4 +1,4 @@
-"""VM semantics tests, run in both interpreter and compiled ("jit") modes."""
+"""VM semantics tests, run in all three tiers: interp, jit, and block."""
 
 import pytest
 
@@ -51,7 +51,7 @@ def run(source, a=0, b=0, data=None, buf=None, maps=None, mode="interp",
     return result, out, vm
 
 
-MODES = ["interp", "jit"]
+MODES = ["interp", "jit", "block"]
 
 
 @pytest.mark.parametrize("mode", MODES)
@@ -222,8 +222,8 @@ def test_helper_trace(mode):
         mov  r0, 0
         exit
     """
-    result, _, vm = run(src, mode=mode)
-    assert vm.trace_log == [123]
+    result, _, _ = run(src, mode=mode)
+    assert result.trace_log == [123]
     assert result.helper_calls == 1
 
 
@@ -376,3 +376,94 @@ def test_interp_and_jit_agree_on_instruction_counts(mode):
     result, out, _ = run(src, mode=mode)
     assert out == 45
     assert result.instructions == 2 + 10 * 4 + 1 + 3
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_partial_read_of_spilled_pointer_faults(mode):
+    # Spill the data pointer to the stack, then read a single byte of the
+    # slot.  A simulated pointer has no raw bytes; the VM used to hand back
+    # 0xff poison for partial reads — every tier must fault instead.  The
+    # verifier already rejects such programs, so forge verification to hit
+    # the runtime defence in depth.
+    prog = Program(
+        assemble("""
+            ldxdw r2, [r1+24]
+            stxdw [r10-8], r2
+            ldxb  r3, [r10-8]
+            mov   r0, 0
+            exit
+        """),
+        LAYOUT,
+    )
+    prog.verified = True  # forged
+    vm = Vm(prog, VmEnvironment(HELPERS), mode=mode)
+    with pytest.raises(VmFault, match="partial read of spilled pointer"):
+        vm.run(bytearray(40), {"data": bytearray(64), "buf": bytearray(32)})
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_full_read_of_spilled_pointer_restores_it(mode):
+    # The aligned 8-byte read of the same slot must restore the pointer,
+    # usable for a subsequent load.
+    src = """
+        ldxdw r2, [r1+24]
+        stxdw [r10-8], r2
+        ldxdw r4, [r10-8]
+        ldxb  r5, [r4+3]
+        stxdw [r1+16], r5
+        mov   r0, 0
+        exit
+    """
+    data = bytearray(64)
+    data[3] = 99
+    _, out, _ = run(src, data=data, mode=mode)
+    assert out == 99
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_trace_log_is_per_run(mode):
+    src = """
+        mov  r1, 7
+        call trace
+        mov  r0, 0
+        exit
+    """
+    prog = Program(assemble(src, NAMES), LAYOUT, name="t")
+    verify(prog, HELPERS)
+    vm = Vm(prog, VmEnvironment(HELPERS), mode=mode)
+    first = vm.run(bytearray(40), {"data": bytearray(64),
+                                   "buf": bytearray(32)})
+    second = vm.run(bytearray(40), {"data": bytearray(64),
+                                    "buf": bytearray(32)})
+    # Each run gets a fresh log: no accumulation across invocations.
+    assert first.trace_log == [7]
+    assert second.trace_log == [7]
+    assert first.trace_log is not second.trace_log
+
+
+def test_vm_trace_log_accessor_is_deprecated():
+    src = "mov r1, 5\ncall trace\nmov r0, 0\nexit"
+    prog = Program(assemble(src, NAMES), LAYOUT, name="t")
+    verify(prog, HELPERS)
+    vm = Vm(prog, VmEnvironment(HELPERS))
+    vm.run(bytearray(40), {"data": bytearray(64), "buf": bytearray(32)})
+    with pytest.warns(DeprecationWarning, match="trace_log is deprecated"):
+        legacy = vm.trace_log
+    assert legacy == [5]
+
+
+def test_block_budget_fault_matches_interp_exactly():
+    # The block tier hoists the budget check to one test per block; on
+    # exhaustion it replays the block per-instruction so the fault carries
+    # the same pc, message, and executed count as the interpreter.
+    prog = Program(assemble("loop:\nadd r2, 1\nja loop"), LAYOUT)
+    prog.verified = True  # forged: infinite loops never verify
+    faults = {}
+    for mode in ("interp", "block"):
+        vm = Vm(prog, VmEnvironment(HELPERS), mode=mode,
+                max_instructions=1001)
+        with pytest.raises(VmFault) as excinfo:
+            vm.run(bytearray(40), {"data": bytearray(64),
+                                   "buf": bytearray(32)})
+        faults[mode] = (str(excinfo.value), excinfo.value.pc)
+    assert faults["interp"] == faults["block"]

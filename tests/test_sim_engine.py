@@ -36,6 +36,28 @@ def test_negative_timeout_rejected():
         sim.timeout(-1)
 
 
+def test_float_timeout_coerced_to_int_nanoseconds():
+    # A float delay must not drift sim.now off integer nanoseconds —
+    # even when Timeout is constructed directly, bypassing sim.timeout.
+    from repro.sim.engine import Timeout
+
+    sim = Simulator()
+
+    def proc(sim):
+        yield Timeout(sim, 10.9)
+        yield sim.timeout(5.5)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 15  # int(10.9) + int(5.5)
+    assert isinstance(sim.now, int)
+
+
+def test_non_numeric_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="non-numeric timeout delay"):
+        sim.timeout("soon")
+
+
 def test_same_time_events_fire_in_schedule_order():
     sim = Simulator()
     order = []
