@@ -1,0 +1,98 @@
+"""Sharded cluster: YCSB IOPS scaling and crash failover durability.
+
+A consistent-hash cluster of N storage targets (each a full simulated
+kernel with journal, write cache, and chain engine) runs the paper's
+YCSB mix through a routed, failover-aware client.  Clean rows sweep the
+shard count — aggregate IOPS must grow across the replicated configs as
+targets are added — and the final row arms a power cut on one target
+mid-run.  The robustness invariants any run must satisfy: the crash is
+detected (via RPC timeout) and exactly one failover promotes the
+replicas; **zero acknowledged writes are lost and zero reads come back
+stale** (ack-after-replica replication plus per-key version stamps);
+the availability gap is bounded; the rejoined target passes fsck after
+journal replay and serves a freshly re-verified chain.
+
+Runnable directly for the CI smoke test::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_failover.py --smoke
+
+``--json [PATH]`` additionally writes a ``BENCH_cluster_failover.json``
+result document (see ``benchmarks/harness.py``).
+"""
+
+import sys
+
+import harness
+
+from repro.bench import cluster_failover, format_table
+
+COLUMNS = ["shards", "ops", "kiops", "crash", "failovers", "gap_us",
+           "lost_acked", "stale_reads", "replayed_txns", "caught_up",
+           "fsck", "chain_ok"]
+
+FULL = {"shard_counts": (1, 2, 4, 8), "ops": 160, "initial_keys": 48}
+SMOKE = {"shard_counts": (1, 2, 4), "ops": 80, "initial_keys": 32}
+
+
+def check_shape(rows):
+    """The durability/failover invariants any run must satisfy."""
+    clean = [row for row in rows if row["crash"] == 0]
+    crash = [row for row in rows if row["crash"] == 1]
+    assert len(crash) == 1, "exactly one armed-crash row"
+    for row in rows:
+        # The headline guarantees: nothing acked is ever lost, and no
+        # read is ever answered below its acked version.
+        assert row["lost_acked"] == 0, row
+        assert row["stale_reads"] == 0, row
+        assert row["fsck"] == "ok", row
+        assert row["chain_ok"] == 1, row
+    # Aggregate IOPS grows with shard count across replicated configs
+    # (shards=1 pays no replication round trip, so it is excluded).
+    replicated = sorted((row for row in clean if row["shards"] > 1),
+                        key=lambda row: row["shards"])
+    for low, high in zip(replicated, replicated[1:]):
+        assert high["kiops"] > low["kiops"], (low, high)
+    row = crash[0]
+    # The kill really happened, was detected, and was survived.
+    assert row["failovers"] >= 1, row
+    assert row["gap_us"] > 0, row
+    # Detection is the client's retransmission budget plus promotion:
+    # bounded well under a tenth of a simulated second.
+    assert row["gap_us"] < 100_000, row
+    # Rejoin pulled the records the crashed target missed.
+    assert row["caught_up"] > 0, row
+
+
+def test_cluster_failover(benchmark):
+    rows = benchmark.pedantic(cluster_failover, kwargs=FULL,
+                              rounds=1, iterations=1)
+    print()
+    print(format_table("Sharded cluster — YCSB scaling + crash failover",
+                       COLUMNS, rows))
+    check_shape(rows)
+    crash = next(row for row in rows if row["crash"] == 1)
+    benchmark.extra_info["gap_us"] = crash["gap_us"]
+    benchmark.extra_info["caught_up"] = crash["caught_up"]
+
+
+SPEC = harness.BenchSpec(
+    name="cluster_failover",
+    title="Sharded cluster — YCSB scaling + crash failover",
+    func=cluster_failover,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="0 acked writes lost, 0 stale reads, clean fsck, "
+               "IOPS grows across replicated shard counts",
+    metric_cols=["gap_us", "failovers", "lost_acked", "stale_reads"],
+    throughput=("kiops", "kiops", "max"),
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,9 @@
   injected fault plan), ``crash_consistency`` (crash-point enumeration
   with recovery verification), ``mq_scaling`` (aggregate IOPS vs NVMe
   SQ/CQ pairs with per-core IRQ steering), ``net_pushdown`` (BPF-oF's
-  naive vs pushdown remote GETs over the simulated network), and the
-  ablations.
+  naive vs pushdown remote GETs over the simulated network),
+  ``cluster_failover`` (sharded/replicated cluster: YCSB scaling plus a
+  mid-run target kill with failover and rejoin), and the ablations.
 
 Each experiment returns plain row dictionaries so the ``benchmarks/``
 pytest files, ``EXPERIMENTS.md``, and tests all consume the same data.
@@ -23,6 +24,7 @@ from repro.bench.experiments import (
     ablation_invalidation_rate,
     ablation_resubmit_bound,
     ablation_vm_mode,
+    cluster_failover,
     crash_consistency,
     extent_stability,
     fault_resilience,
@@ -43,6 +45,7 @@ __all__ = [
     "ablation_invalidation_rate",
     "ablation_resubmit_bound",
     "ablation_vm_mode",
+    "cluster_failover",
     "crash_consistency",
     "extent_stability",
     "fault_resilience",

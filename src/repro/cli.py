@@ -6,7 +6,8 @@ Commands:
   table (``--quick`` runs miniature versions in a few seconds).
 * ``experiment <name>`` — run one experiment (fig1, table1, fig3a, fig3b,
   fig3c, fig3d, stability, bound, churn, vmmode, appcache, interference,
-  resilience, crash, scale, pushdown).  An experiment name may also be
+  resilience, crash, scale, pushdown, cluster).  An experiment name may
+  also be
   used as the top-level command (``python -m repro scale --json`` is
   shorthand for ``python -m repro experiment scale --json``).
   ``--json`` prints the rows as JSON instead of a table; ``--trace-jsonl
@@ -43,6 +44,7 @@ from repro.bench import (
     ablation_invalidation_rate,
     ablation_resubmit_bound,
     ablation_vm_mode,
+    cluster_failover,
     crash_consistency,
     extent_stability,
     fault_resilience,
@@ -143,6 +145,11 @@ _EXPERIMENTS = {
                      depths=(2, 4) if quick else (1, 2, 3, 4, 5, 6),
                      rtts_us=(10, 20) if quick else (5, 10, 20, 50),
                      gets=10 if quick else 30)),
+    "cluster": ("Sharded cluster — YCSB scaling + crash failover",
+                lambda quick: cluster_failover(
+                    shard_counts=(1, 2, 4) if quick else (1, 2, 4, 8),
+                    ops=80 if quick else 160,
+                    initial_keys=32 if quick else 48)),
 }
 
 _CRASH_MODES = ("flush", "op", "op-torn", "sync")

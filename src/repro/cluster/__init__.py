@@ -1,0 +1,45 @@
+"""Sharded, replicated storage cluster with crash failover.
+
+The exokernel argument scaled out: N independent storage targets —
+each a full simulated kernel with its own journal, write cache, and
+verified BPF chain engine — behind a consistent-hash ring, with
+primary/replica replication, crash detection via RPC timeouts, replica
+promotion that preserves read-your-writes, and journal-replay rejoin.
+
+* :mod:`~repro.cluster.ring` — :class:`HashRing`, deterministic
+  BLAKE2b-based consistent hashing.
+* :mod:`~repro.cluster.cluster` — :class:`ClusterTarget` (PUT / GET /
+  REPLICATE on top of the base target ops), :class:`StorageCluster`
+  (placement, ack-after-replica replication, crash, promotion, rejoin
+  with fsck + catch-up), and the one-sector record codec.
+* :mod:`~repro.cluster.client` — :class:`ClusterClient`: ring routing,
+  bounded failover retry, read-your-writes accounting, and chain
+  pushdown that survives promotion.
+
+See ``docs/cluster.md`` for the full protocol and failure arguments.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.cluster import (
+    DATA_PATH,
+    RECORD_SIZE,
+    ClusterTarget,
+    RejoinReport,
+    StorageCluster,
+    decode_record,
+    encode_record,
+)
+from repro.cluster.ring import HashRing, stable_hash
+
+__all__ = [
+    "ClusterClient",
+    "ClusterTarget",
+    "DATA_PATH",
+    "HashRing",
+    "RECORD_SIZE",
+    "RejoinReport",
+    "StorageCluster",
+    "decode_record",
+    "encode_record",
+    "stable_hash",
+]

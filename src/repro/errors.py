@@ -179,9 +179,29 @@ class FramingError(NetError):
 
 
 class RpcTimeout(NetError):
-    """An RPC exhausted its retransmission budget without a reply."""
+    """An RPC exhausted its retransmission budget without a reply.
+
+    Carries the structured facts a failover policy needs to branch on —
+    which op timed out, after how many attempts, against which request
+    id and per-attempt timeout — so callers (the cluster client's
+    replica-promotion path in :mod:`repro.cluster`) never parse the
+    message.  The rendered message keeps the historical
+    ``"{op} request {id} unanswered after {n} attempts"`` format.
+    """
 
     errno_name = "ETIMEDOUT"
+
+    def __init__(self, message: str = "", *, op: str = "?",
+                 request_id: int = 0, attempts: int = 0,
+                 timeout_ns: int = 0):
+        self.op = op
+        self.request_id = request_id
+        self.attempts = attempts
+        self.timeout_ns = timeout_ns
+        if not message:
+            message = (f"{op} request {request_id} unanswered after "
+                       f"{attempts} attempts")
+        super().__init__(message)
 
 
 class RemoteError(NetError):

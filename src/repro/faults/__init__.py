@@ -20,6 +20,7 @@ from repro.faults.plan import (
     FAULT_POWER_LOSS,
     FAULT_SPIKE,
     FAULT_STALE,
+    FAULT_TARGET_CRASH,
     FAULT_TIMEOUT,
     FAULT_TRANSIENT,
     FaultPlan,
@@ -37,6 +38,7 @@ __all__ = [
     "FAULT_POWER_LOSS",
     "FAULT_SPIKE",
     "FAULT_STALE",
+    "FAULT_TARGET_CRASH",
     "FAULT_TIMEOUT",
     "FAULT_TRANSIENT",
     "FaultPlan",

@@ -39,6 +39,7 @@ __all__ = [
     "FAULT_NET_DELAY",
     "FAULT_NET_DROP",
     "FAULT_POWER_LOSS",
+    "FAULT_TARGET_CRASH",
     "FAULT_SPIKE",
     "FAULT_STALE",
     "FAULT_TIMEOUT",
@@ -59,6 +60,7 @@ FAULT_STALE = "stale"
 FAULT_POWER_LOSS = "power_loss"
 FAULT_NET_DROP = "net_drop"
 FAULT_NET_DELAY = "net_delay"
+FAULT_TARGET_CRASH = "target_crash"
 
 
 @dataclass(frozen=True)
@@ -102,6 +104,13 @@ class FaultSpec:
     #: Probability that a delivered frame is held ``net_delay_ns`` extra.
     net_delay_rate: float = 0.0
     net_delay_ns: int = 50_000
+    #: Power-cut one storage target immediately before it handles its
+    #: k-th RPC (0 = off).  Consumed by :class:`repro.cluster.
+    #: StorageCluster`, which counts handled RPCs cluster-wide: the
+    #: target that would serve RPC k crashes instead, goes silent on the
+    #: wire, and the client's :class:`~repro.errors.RpcTimeout` drives
+    #: replica promotion.  One-shot, like ``power_loss_after_flushes``.
+    target_crash_after_rpcs: int = 0
 
     def __post_init__(self) -> None:
         for name in ("read_error_rate", "write_error_rate", "timeout_rate",
@@ -129,6 +138,8 @@ class FaultSpec:
             raise InvalidArgument("intervals/windows must be >= 0")
         if self.power_loss_after_flushes < 0:
             raise InvalidArgument("power_loss_after_flushes must be >= 0")
+        if self.target_crash_after_rpcs < 0:
+            raise InvalidArgument("target_crash_after_rpcs must be >= 0")
         if self.torn_write not in (0, 1):
             raise InvalidArgument("torn_write must be 0 or 1")
 
@@ -143,6 +154,7 @@ class FaultSpec:
                 self.timeout_rate > 0 or self.spike_rate > 0 or
                 self.stale_interval_ns > 0 or
                 self.power_loss_after_flushes > 0 or
+                self.target_crash_after_rpcs > 0 or
                 self.any_net_faults())
 
     def any_net_faults(self) -> bool:
@@ -152,7 +164,8 @@ class FaultSpec:
 _INT_FIELDS = {"seed", "error_burst", "stale_interval_ns",
                "window_start_ns", "window_end_ns",
                "power_loss_after_flushes", "torn_write",
-               "net_drop_burst", "net_delay_ns"}
+               "net_drop_burst", "net_delay_ns",
+               "target_crash_after_rpcs"}
 
 
 def parse_fault_spec(text: str) -> FaultSpec:
@@ -211,9 +224,11 @@ class FaultPlan:
                                          FAULT_SPIKE: 0, FAULT_STALE: 0,
                                          FAULT_POWER_LOSS: 0,
                                          FAULT_NET_DROP: 0,
-                                         FAULT_NET_DELAY: 0}
+                                         FAULT_NET_DELAY: 0,
+                                         FAULT_TARGET_CRASH: 0}
         self._next_stale = spec.window_start_ns + spec.stale_interval_ns
         self._power_loss_fired = False
+        self._target_crash_fired = False
 
     # -- media-path faults (consumed by NvmeDevice) ---------------------
 
@@ -355,6 +370,26 @@ class FaultPlan:
             return False
         self._power_loss_fired = True
         self.injected[FAULT_POWER_LOSS] += 1
+        return True
+
+    # -- target crash (consumed by repro.cluster per handled RPC) -------
+
+    def target_crash_due(self, handled_rpcs: int) -> bool:
+        """One-shot: has the armed RPC count just been reached?
+
+        The cluster asks before every RPC a target handles, passing the
+        cluster-wide handled-RPC count; the crash fires exactly once,
+        when the count reaches the configured k — so which *target* dies
+        is a deterministic function of workload routing, not of a
+        separate draw.
+        """
+        spec = self.spec
+        if spec.target_crash_after_rpcs == 0 or self._target_crash_fired:
+            return False
+        if handled_rpcs < spec.target_crash_after_rpcs:
+            return False
+        self._target_crash_fired = True
+        self.injected[FAULT_TARGET_CRASH] += 1
         return True
 
     def total_injected(self) -> int:

@@ -112,7 +112,10 @@ class StorageTarget:
             elif op == wire.OP_EXEC_CHAIN:
                 reply = yield from self._op_exec_chain(state, body)
             else:
-                return self._refuse("EBADMSG", f"unknown op {op}")
+                extra = self._handle_extra(state, op, body)
+                if extra is None:
+                    return self._refuse("EBADMSG", f"unknown op {op}")
+                reply = yield from extra
         except VerifierError as error:
             return self._refuse("EVERIFY", error.reason)
         except KernelError as error:
@@ -122,6 +125,16 @@ class StorageTarget:
         self.executed[wire.OP_NAMES[op]] = \
             self.executed.get(wire.OP_NAMES[op], 0) + 1
         return wire.STATUS_OK, reply
+
+    def _handle_extra(self, state: _ClientState, op: int, body: bytes):
+        """Extension point: a generator for ops this class does not know.
+
+        Subclasses (the cluster's :class:`~repro.cluster.cluster.
+        ClusterTarget`) return an op-handler generator whose errors get
+        the same typed-refusal mapping as the built-in ops; the base
+        target returns ``None``, which becomes an ``EBADMSG`` refusal.
+        """
+        return None
 
     def _refuse(self, errno_name: str, reason: str):
         self.refused[errno_name] = self.refused.get(errno_name, 0) + 1

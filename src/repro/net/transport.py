@@ -68,12 +68,19 @@ class Connection:
         self._pending: Dict[int, Event] = {}
         self._next_id = 1
         #: Target-side reply cache: request id -> encoded reply frame.
+        #: Evicted in least-recently-*used* order: a dedup hit moves the
+        #: entry back to the tail, so a request id the client is still
+        #: retransmitting cannot be displaced by newer traffic while a
+        #: colder id remains cached (insertion-order eviction broke
+        #: exactly-once under small ``dedup_capacity``).
         self._replies: Dict[int, bytes] = {}
         # -- plain counters (maintained with or without a bus) ----------
         self.rpcs_sent: Dict[str, int] = {}
         self.retries = 0
         self.stale_replies = 0
         self.dedup_hits = 0
+        self.dedup_evictions = 0
+        self.dropped_requests = 0
         self.bad_frames = 0
         self.max_inflight = 0
         self.sim.spawn(self._demux(), name=f"{name}/demux")
@@ -122,9 +129,9 @@ class Connection:
                 return status, reply_body
             if attempt > self.max_retries:
                 self._pending.pop(request_id, None)
-                raise RpcTimeout(
-                    f"{op_name} request {request_id} unanswered after "
-                    f"{attempt} attempts")
+                raise RpcTimeout(op=op_name, request_id=request_id,
+                                 attempts=attempt,
+                                 timeout_ns=self.timeout_ns)
             backoff = self.backoff_ns << (attempt - 1)
             self.retries += 1
             if self.bus.enabled:
@@ -166,7 +173,11 @@ class Connection:
         ``handler(op, body)`` is a generator returning ``(status,
         reply_body)``; it runs inline, so one connection serves one
         request at a time and a retransmission queued behind the
-        original execution is answered from the dedup cache.
+        original execution is answered from the dedup cache.  A handler
+        may instead return ``None`` to drop the request silently — no
+        reply, nothing cached — which is how a crashed storage target
+        goes dark (the client's recovery is its retransmission timeout,
+        exactly as with a dead machine).
         """
         self.sim.spawn(self._serve_loop(handler), name=f"{self.name}/serve")
 
@@ -187,14 +198,23 @@ class Connection:
                               dup=cached is not None)
             if cached is not None:
                 self.dedup_hits += 1
+                # LRU touch: the client is clearly still retransmitting
+                # this id, so keep its reply alive ahead of colder ones.
+                del self._replies[request_id]
+                self._replies[request_id] = cached
                 self._send_reply(op_name, request_id, cached)
                 continue
-            status, reply_body = yield from handler(op, body)
+            result = yield from handler(op, body)
+            if result is None:
+                self.dropped_requests += 1
+                continue
+            status, reply_body = result
             reply = encode_frame(op | REPLY, request_id, reply_body,
                                  status=status)
             self._replies[request_id] = reply
             while len(self._replies) > self.dedup_capacity:
                 self._replies.pop(next(iter(self._replies)))
+                self.dedup_evictions += 1
             self._send_reply(op_name, request_id, reply)
 
     def _send_reply(self, op_name: str, request_id: int,

@@ -35,9 +35,12 @@ from repro.errors import FramingError, RemoteError, RemoteVerifierRejected
 __all__ = [
     "MAGIC",
     "OP_EXEC_CHAIN",
+    "OP_GET",
     "OP_INSTALL_CHAIN",
     "OP_NAMES",
+    "OP_PUT",
     "OP_READ",
+    "OP_REPLICATE",
     "OP_WRITE",
     "REPLY",
     "STATUS_NAMES",
@@ -45,19 +48,31 @@ __all__ = [
     "decode_exec_chain",
     "decode_exec_chain_reply",
     "decode_frame",
+    "decode_get",
+    "decode_get_reply",
     "decode_install_chain",
     "decode_install_chain_reply",
+    "decode_put",
+    "decode_put_reply",
     "decode_read",
     "decode_read_reply",
+    "decode_replicate",
+    "decode_replicate_reply",
     "decode_write",
     "decode_write_reply",
     "encode_exec_chain",
     "encode_exec_chain_reply",
     "encode_frame",
+    "encode_get",
+    "encode_get_reply",
     "encode_install_chain",
     "encode_install_chain_reply",
+    "encode_put",
+    "encode_put_reply",
     "encode_read",
     "encode_read_reply",
+    "encode_replicate",
+    "encode_replicate_reply",
     "encode_write",
     "encode_write_reply",
     "raise_for_status",
@@ -71,11 +86,18 @@ OP_READ = 1
 OP_WRITE = 2
 OP_INSTALL_CHAIN = 3
 OP_EXEC_CHAIN = 4
+#: Cluster KV ops (repro.cluster): PUT/GET are client-facing versioned
+#: records; REPLICATE is the inter-target op a shard primary sends its
+#: replica before acking a PUT (chain replication, one link long).
+OP_PUT = 5
+OP_GET = 6
+OP_REPLICATE = 7
 #: High bit of the op byte marks a reply frame.
 REPLY = 0x80
 
 OP_NAMES = {OP_READ: "read", OP_WRITE: "write",
-            OP_INSTALL_CHAIN: "install_chain", OP_EXEC_CHAIN: "exec_chain"}
+            OP_INSTALL_CHAIN: "install_chain", OP_EXEC_CHAIN: "exec_chain",
+            OP_PUT: "put", OP_GET: "get", OP_REPLICATE: "replicate"}
 
 STATUS_OK = 0
 #: Refusal codes, one per errno name the target can send back.
@@ -261,6 +283,63 @@ def decode_exec_chain(body: bytes) -> Tuple[int, int, int, Tuple[int, ...]]:
     chain_id, offset, length, nargs = cursor.take("!IQIB")
     args = tuple(cursor.take("!Q")[0] for _ in range(nargs))
     return chain_id, offset, length, args
+
+
+# ---------------------------------------------------------------------------
+# Cluster KV: PUT / GET / REPLICATE (repro.cluster)
+# ---------------------------------------------------------------------------
+
+
+def encode_put(key: int, value: int) -> bytes:
+    return struct.pack("!QQ", key, value)
+
+
+def decode_put(body: bytes) -> Tuple[int, int]:
+    return _Cursor(body).take("!QQ")
+
+
+def encode_put_reply(version: int) -> bytes:
+    return struct.pack("!Q", version)
+
+
+def decode_put_reply(body: bytes) -> int:
+    return _Cursor(body).take("!Q")[0]
+
+
+def encode_get(key: int) -> bytes:
+    return struct.pack("!Q", key)
+
+
+def decode_get(body: bytes) -> int:
+    return _Cursor(body).take("!Q")[0]
+
+
+def encode_get_reply(found: bool, version: int, value: int) -> bytes:
+    return struct.pack("!BQQ", 1 if found else 0, version, value)
+
+
+def decode_get_reply(body: bytes) -> Tuple[bool, int, int]:
+    found, version, value = _Cursor(body).take("!BQQ")
+    return bool(found), version, value
+
+
+def encode_replicate(key: int, version: int, offset: int,
+                     data: bytes) -> bytes:
+    return struct.pack("!QQQ", key, version, offset) + _pack_bytes(data)
+
+
+def decode_replicate(body: bytes) -> Tuple[int, int, int, bytes]:
+    cursor = _Cursor(body)
+    key, version, offset = cursor.take("!QQQ")
+    return key, version, offset, cursor.take_bytes()
+
+
+def encode_replicate_reply(version: int) -> bytes:
+    return struct.pack("!Q", version)
+
+
+def decode_replicate_reply(body: bytes) -> int:
+    return _Cursor(body).take("!Q")[0]
 
 
 _HAS_VALUE = 0x1

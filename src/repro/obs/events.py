@@ -98,6 +98,20 @@ event type                emitted by / meaning
 ``net_retry``             a client RPC timed out and was retransmitted
                           with the same request id; ``op``,
                           ``request_id``, ``attempt``, ``backoff_ns``.
+``cluster_replicate``     a shard primary's PUT was acknowledged by its
+                          replica (or skipped, replica down); ``shard``,
+                          ``key``, ``version``, ``lag`` (acked writes
+                          the replica has not applied).
+``cluster_failover``      a target crash was detected via RPC timeout
+                          and its shards promoted their replicas;
+                          ``target`` (crashed), ``shards`` (promoted
+                          shard ids), ``op``/``attempts`` (from the
+                          detecting ``RpcTimeout``).
+``cluster_rejoin``        a crashed target replayed its journal, passed
+                          fsck, caught up missed records, and rejoined
+                          as replica; ``target``, ``replayed_txns``,
+                          ``discarded_txns``, ``fsck_ok``,
+                          ``caught_up``.
 ========================  =====================================================
 """
 
@@ -116,6 +130,9 @@ __all__ = [
     "CHAIN_FALLBACK",
     "CHAIN_HOP",
     "CHAIN_KILL",
+    "CLUSTER_FAILOVER",
+    "CLUSTER_REJOIN",
+    "CLUSTER_REPLICATE",
     "CONTEXT_SWITCH",
     "EXTENT_CACHE_HIT",
     "EXTENT_CACHE_INSTALL",
@@ -183,6 +200,9 @@ FSCK_REPORT = "fsck_report"
 NET_RPC_SEND = "net_rpc_send"
 NET_RPC_RECV = "net_rpc_recv"
 NET_RETRY = "net_retry"
+CLUSTER_REPLICATE = "cluster_replicate"
+CLUSTER_FAILOVER = "cluster_failover"
+CLUSTER_REJOIN = "cluster_rejoin"
 
 
 class TraceEvent:

@@ -215,6 +215,13 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
     ``net_inflight`` gauge (client RPCs awaiting replies, carried on the
     send/recv events so the subscriber never guesses), and
     ``net_retries_total`` (timed-out RPCs retransmitted, by op).
+
+    Cluster metrics (from the ``cluster_*`` tracepoints):
+    ``cluster_failovers_total`` (replica promotions by crashed target),
+    ``cluster_rejoins_total`` (recovered targets re-admitted), and
+    ``cluster_replica_lag`` gauge (per shard: acked writes the replica
+    has not yet applied — 0 in steady state, grows while the primary
+    serves solo after its replica died).
     """
     syscalls = registry.counter("syscalls_total", "Syscall entries by op")
     hops = registry.counter("chain_hops_total", "Completed chain hops")
@@ -382,3 +389,18 @@ def attach_standard_metrics(bus: TraceBus, registry: MetricsRegistry) -> None:
     bus.subscribe(_on_net_recv, ev.NET_RPC_RECV)
     bus.subscribe(lambda e: net_retries.inc(op=e.get("op", "?")),
                   ev.NET_RETRY)
+
+    # -- cluster (repro.cluster) ----------------------------------------
+    failovers = registry.counter("cluster_failovers_total",
+                                 "Replica promotions by crashed target")
+    rejoins = registry.counter("cluster_rejoins_total",
+                               "Recovered targets re-admitted as replicas")
+    replica_lag = registry.gauge("cluster_replica_lag",
+                                 "Acked writes the replica has not applied")
+
+    bus.subscribe(lambda e: failovers.inc(target=e.get("target", "?")),
+                  ev.CLUSTER_FAILOVER)
+    bus.subscribe(lambda e: rejoins.inc(), ev.CLUSTER_REJOIN)
+    bus.subscribe(lambda e: replica_lag.set(e.get("lag", 0),
+                                            shard=e.get("shard", 0)),
+                  ev.CLUSTER_REPLICATE)

@@ -323,6 +323,31 @@ def test_drop_recovery_executes_exactly_once():
     assert connection.dedup_hits > 0
 
 
+def test_dedup_cache_evicts_lru_not_insertion_order():
+    # Regression: with a tiny cache and insertion-order eviction, a
+    # request id the client is *still retransmitting* gets displaced by
+    # newer traffic and the op re-executes — breaking exactly-once.
+    # The LRU touch on a dedup hit keeps the hot id alive instead.
+    sim, target, fabric, connection, _client = build_rig(dedup_capacity=2)
+    target.create_file("/data", bytes(8192))
+
+    def send(request_id):
+        frame = wire.encode_frame(wire.OP_READ, request_id,
+                                  wire.encode_read("/data", 0, 512))
+        fabric.transmit(connection.c2s, frame, request_id=request_id)
+
+    send(1)   # executes; cache [1]
+    send(2)   # executes; cache [1, 2] — full
+    send(1)   # dedup hit, LRU touch; cache [2, 1]
+    send(3)   # executes; evicts 2 (LRU). FIFO would have evicted 1.
+    send(1)   # dedup hit again: 1 survived the eviction
+    sim.run(until=50_000_000)
+
+    assert target.executed == {"read": 3}        # never re-executed
+    assert connection.dedup_hits == 2
+    assert connection.dedup_evictions == 1
+
+
 def test_persistent_loss_raises_rpc_timeout():
     plan = FaultPlan(FaultSpec(seed=3, net_drop_rate=1.0,
                                net_drop_burst=1_000_000), kernel_seed=3)
@@ -333,9 +358,16 @@ def test_persistent_loss_raises_rpc_timeout():
     def workload():
         yield from client.read("/data", 0, 512)
 
-    with pytest.raises(RpcTimeout, match="3 attempts"):
+    with pytest.raises(RpcTimeout, match="3 attempts") as excinfo:
         sim.run_process(workload())
     assert target.executed == {}
+    # The exception carries structured fields — a failover policy (the
+    # cluster client) branches on these, never on the message text.
+    timeout = excinfo.value
+    assert timeout.op == "read"
+    assert timeout.request_id == 1
+    assert timeout.attempts == 3
+    assert timeout.timeout_ns == connection.timeout_ns
 
 
 def test_net_delay_slows_but_does_not_break():
@@ -354,6 +386,75 @@ def test_net_delay_slows_but_does_not_break():
     assert connection.c2s.frames_delayed == 1
     assert connection.s2c.frames_delayed == 1
     assert connection.retries == 0
+
+
+def test_combined_fault_domains_surface_typed_and_recover():
+    """Power loss mid-destage + episodic net drops + in-flight RPCs.
+
+    Two independent fault domains fire in one run: the fabric drops
+    frames in bursts while the target's device loses power during a
+    write-cache destage.  Every client-visible outcome must be either
+    success, a *typed* remote refusal, or an RPC timeout — never a
+    torn or garbled reply — and after journal-replay recovery the
+    target passes fsck and serves again.
+    """
+    from repro.faults import fault_injection
+    from repro.kernel import JournalConfig
+    from repro.kernel.recovery import fsck
+
+    spec = FaultSpec(seed=5, net_drop_rate=0.25, net_drop_burst=2,
+                     power_loss_after_flushes=1)
+    with fault_injection(spec):
+        sim = Simulator()
+        target = StorageTarget(
+            sim, model=NVM2_BENCH,
+            config=KernelConfig(cores=2, seed=5, write_cache_depth=4,
+                                journal=JournalConfig(journal_blocks=32)))
+        fabric = NetworkFabric(sim, NetConfig(one_way_ns=5_000, seed=5))
+    connection = Connection(fabric, "client", max_retries=3)
+    target.attach(connection)
+    client = RemoteClient(connection)
+    target.create_file("/data", bytes(64 * 1024))
+    # Make the untimed setup durable — recovery must not roll the file
+    # system back past the file's creation.
+    target.kernel.fs.checkpoint_sync()
+
+    outcomes = []
+
+    def writer(index):
+        # Several writers keep RPCs in flight when the power dies.
+        for op in range(6):
+            slot = (index * 6 + op) % 16
+            try:
+                yield from client.write("/data", slot * 4096,
+                                        bytes([index + 1]) * 4096)
+                outcomes.append("ok")
+            except RemoteError as error:
+                outcomes.append(error.remote_errno)
+            except RpcTimeout:
+                outcomes.append("timeout")
+
+    for index in range(3):
+        sim.spawn(writer(index), name=f"writer-{index}")
+    sim.run(until=1_000_000_000)
+
+    assert len(outcomes) == 18
+    # The cut surfaced: some ops failed, all of them *typed*.
+    assert set(outcomes) <= {"ok", "EPOWERFAIL", "EREMOTE", "timeout"}
+    assert any(outcome != "ok" for outcome in outcomes)
+    assert connection.bad_frames == 0            # never a torn reply
+
+    # Journal replay brings the target back to a consistent tree...
+    target.kernel.recover()
+    assert fsck(target.kernel.fs).ok
+    # ...and it serves a fresh client again (same faulty network).
+    after = Connection(fabric, "client2")
+    target.attach(after)
+
+    def recheck():
+        return (yield from RemoteClient(after).read("/data", 0, 512))
+
+    assert len(sim.run_process(recheck())) == 512
 
 
 # ---------------------------------------------------------------------------
