@@ -35,6 +35,7 @@ from repro.bench.experiments import (
     mq_scaling,
     net_pushdown,
     table1_breakdown,
+    tenants,
 )
 from repro.bench.runner import BtreeBench, run_closed_loop
 from repro.bench.tables import format_table, rows_to_json
@@ -60,4 +61,5 @@ __all__ = [
     "rows_to_json",
     "run_closed_loop",
     "table1_breakdown",
+    "tenants",
 ]

@@ -18,6 +18,7 @@ from repro.device import DEVICE_PROFILES, LatencyModel
 from repro.errors import ExtentInvalidated, InvalidArgument, IoError
 from repro.faults import FaultSpec, fault_injection
 from repro.kernel import CostModel, IoUring, Kernel, KernelConfig
+from repro.qos import QosConfig, Tenant
 from repro.sim import LatencyRecorder, Simulator, ThroughputMeter
 from repro.structures import BTree, FsBackend, KvStore
 from repro.structures.pages import PAGE_SIZE, search_page
@@ -42,6 +43,7 @@ __all__ = [
     "mq_scaling",
     "net_pushdown",
     "table1_breakdown",
+    "tenants",
 ]
 
 
@@ -629,6 +631,100 @@ def interference(chain_depth: int = 16, plain_threads: int = 3,
             "chained_resubmissions": sum(drained.values()),
             "chain_processes_accounted": len(drained),
         })
+    return rows
+
+
+def _p99(samples: Sequence[int]) -> float:
+    ordered = sorted(samples)
+    return ordered[int(0.99 * (len(ordered) - 1))]
+
+
+def tenants(chain_depth: int = 12, victim_threads: int = 2,
+            aggressor_threads: int = 96, duration_ns: int = 8_000_000,
+            victim_weight: int = 12, chain_tokens_per_ms: int = 750,
+            seed: int = 13) -> List[Dict]:
+    """Multi-tenant isolation: can QoS protect a victim from an aggressor?
+
+    One machine, two tenants.  The *victim* runs a light mixed YCSB over
+    a plain file (512 B reads and writes); the *aggressor* floods the
+    same device with deep NVMe-hook chains, whose resubmissions bypass
+    the block scheduler entirely.  Three scenarios:
+
+    * ``victim-alone`` — the victim's unloaded baseline p99;
+    * ``qos-off`` — the aggressor arrives, FIFO submission queues: the
+      victim's p99 collapses (expected well over 5x the baseline);
+    * ``qos-on`` — same load, but a :class:`~repro.qos.QosConfig` arms
+      weighted-fair queueing at the NVMe submission queue (victim
+      weighted ``victim_weight``:1) plus chain pacing at
+      ``chain_tokens_per_ms`` resubmissions/ms on the aggressor's IRQ
+      path.  WFQ is work-conserving and the victim speeds up, so the
+      aggregate ops/sec stays comfortably above ~90 % of ``qos-off``
+      while the victim's p99 lands within ~2x of its baseline.
+    """
+    qos_config = QosConfig(tenants=(Tenant("victim", weight=victim_weight),
+                                    Tenant("aggressor", weight=1)),
+                           chain_tokens_per_ms=chain_tokens_per_ms)
+    rows = []
+    for scenario, qos, with_aggressor in (("victim-alone", None, False),
+                                          ("qos-off", None, True),
+                                          ("qos-on", qos_config, True)):
+        bench = BtreeBench(chain_depth, seed=seed, qos=qos)
+        kernel = bench.kernel
+        sim = bench.sim
+        kernel.create_file("/plain", bytes(1 << 20))
+        sectors = (1 << 20) // 512
+        stop_at = sim.now + duration_ns
+        victim_latency: List[int] = []
+        victim_ops = [0]
+        aggressor_ops = [0]
+
+        def victim_worker(index):
+            proc = kernel.spawn_process(f"victim-{index}", tenant="victim")
+            fd = yield from kernel.sys_open(proc, "/plain")
+            workload = YcsbWorkload(
+                sectors, bench.streams.fork(f"victim-{index}").stream("ycsb"),
+                mix="paper")
+            payload = bytes(512)
+            while sim.now < stop_at:
+                op = workload.next_operation()
+                offset = (op.key % sectors) * 512
+                start = sim.now
+                if op.op in (OpType.UPDATE, OpType.INSERT):
+                    yield from kernel.sys_pwrite(proc, fd, offset, payload)
+                else:
+                    yield from kernel.sys_pread(proc, fd, offset, 512)
+                victim_latency.append(sim.now - start)
+                victim_ops[0] += 1
+
+        for index in range(victim_threads):
+            sim.spawn(victim_worker(index), name=f"victim-{index}")
+
+        if with_aggressor:
+            chain_worker = bench.chain_worker(Hook.NVME, tenant="aggressor")
+
+            def aggressor_loop(index):
+                one_op = yield from chain_worker(index)
+                while sim.now < stop_at:
+                    yield from one_op()
+                    aggressor_ops[0] += 1
+
+            for index in range(aggressor_threads):
+                sim.spawn(aggressor_loop(index), name=f"aggr-{index}")
+
+        sim.run(until=stop_at)
+        seconds = duration_ns / 1e9
+        rows.append({
+            "scenario": scenario,
+            "qos": "on" if qos is not None else "off",
+            "victim_p99_us": _p99(victim_latency) / 1000,
+            "victim_kops_per_s": victim_ops[0] / seconds / 1000,
+            "aggressor_kops_per_s": aggressor_ops[0] / seconds / 1000,
+            "aggregate_kops_per_s":
+                (victim_ops[0] + aggressor_ops[0]) / seconds / 1000,
+        })
+    baseline = rows[0]["victim_p99_us"]
+    for row in rows:
+        row["victim_p99_x_alone"] = row["victim_p99_us"] / baseline
     return rows
 
 

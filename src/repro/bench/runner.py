@@ -16,6 +16,7 @@ from repro.device import LatencyModel
 from repro.errors import InvalidArgument
 from repro.kernel import CostModel, Kernel, KernelConfig
 from repro.obs import events as obs_events
+from repro.qos import QosConfig
 from repro.sim import LatencyRecorder, RandomStreams, Simulator, ThroughputMeter
 from repro.structures import BTree, FsBackend
 from repro.structures.pages import PAGE_SIZE, FileBackend, search_page
@@ -136,10 +137,11 @@ class BtreeBench:
     def __init__(self, depth: int, cores: int = 6, seed: int = 0,
                  model: LatencyModel = NVM2_BENCH,
                  cost_model: Optional[CostModel] = None,
-                 fanout: Optional[int] = None, jit: bool = True,
+                 fanout: Optional[int] = None, jit: Optional[bool] = None,
                  vm_mode: Optional[str] = None,
                  max_chain_hops: int = 64, queue_pairs: int = 1,
-                 irq_steering: Optional[bool] = None):
+                 irq_steering: Optional[bool] = None,
+                 qos: Optional[QosConfig] = None):
         self.depth = depth
         self.fanout = fanout or choose_fanout(depth)
         num_keys = BTree.keys_for_depth(depth, self.fanout)
@@ -147,7 +149,7 @@ class BtreeBench:
         config = KernelConfig(cores=cores, seed=seed,
                               cost_model=cost_model or CostModel(),
                               queue_pairs=queue_pairs,
-                              irq_steering=irq_steering)
+                              irq_steering=irq_steering, qos=qos)
         self.kernel = Kernel(self.sim, model, config)
         self.bpf = StorageBpf(self.kernel, max_chain_hops=max_chain_hops)
         self.jit = jit
@@ -205,12 +207,16 @@ class BtreeBench:
 
         return one_op
 
-    def chain_worker(self, hook: Hook):
-        """Factory of workers using the installed-hook chain path."""
+    def chain_worker(self, hook: Hook, tenant: Optional[str] = None):
+        """Factory of workers using the installed-hook chain path.
+
+        ``tenant`` bills every worker process (and so its chain
+        resubmissions and NVMe commands) to that QoS tenant.
+        """
 
         def make_worker(index: int):
             kernel = self.kernel
-            proc = kernel.spawn_process(f"chain-{index}")
+            proc = kernel.spawn_process(f"chain-{index}", tenant=tenant)
             fd = yield from kernel.sys_open(proc, "/index")
             yield from self.bpf.install(proc, fd, self.program, hook=hook,
                                         jit=self.jit, vm_mode=self.vm_mode)

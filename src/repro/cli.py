@@ -58,6 +58,7 @@ from repro.bench import (
     net_pushdown,
     rows_to_json,
     table1_breakdown,
+    tenants,
 )
 from repro.faults import fault_injection, parse_fault_spec
 from repro.obs import ObsSession
@@ -150,6 +151,9 @@ _EXPERIMENTS = {
                     shard_counts=(1, 2, 4) if quick else (1, 2, 4, 8),
                     ops=80 if quick else 160,
                     initial_keys=32 if quick else 48)),
+    "tenants": ("Multi-tenant QoS — victim p99 vs an aggressor tenant",
+                lambda quick: tenants(
+                    duration_ns=2_000_000 if quick else 8_000_000)),
 }
 
 _CRASH_MODES = ("flush", "op", "op-torn", "sync")

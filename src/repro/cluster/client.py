@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.cluster.cluster import StorageCluster
-from repro.errors import InvalidArgument, RpcTimeout
+from repro.errors import InvalidArgument, QosRejected, RpcTimeout
 from repro.net import Connection, RemoteClient, wire
 
 __all__ = ["ClusterClient"]
@@ -40,19 +40,31 @@ class ClusterClient:
 
     def __init__(self, cluster: StorageCluster, name: str = "client",
                  window: int = 8, max_failover_retries: int = 4,
-                 retry_backoff_ns: int = 100_000, **conn_kwargs):
+                 retry_backoff_ns: int = 100_000,
+                 tenant: Optional[str] = None, max_qos_retries: int = 8,
+                 **conn_kwargs):
         self.cluster = cluster
         self.max_failover_retries = max_failover_retries
         self.retry_backoff_ns = retry_backoff_ns
+        self.max_qos_retries = max_qos_retries
+        #: EAGAIN sleeps actually taken across all routed ops.
+        self.qos_backoffs = 0
+        # One logical client is one tenant on every target it talks to
+        # (default: the client name, when any target has QoS armed).
+        if tenant is None and any(t.kernel.qos is not None
+                                  for t in cluster.targets):
+            tenant = name
+        self.tenant = tenant
         self.conns: Dict[int, Connection] = {}
         self.remotes: Dict[int, RemoteClient] = {}
         for target in cluster.targets:
             conn = Connection(cluster.fabric,
                               f"{name}-t{target.target_id}",
                               window=window, **conn_kwargs)
-            target.attach(conn)
+            target.attach(conn, tenant=tenant)
             self.conns[target.target_id] = conn
-            self.remotes[target.target_id] = RemoteClient(conn)
+            self.remotes[target.target_id] = RemoteClient(
+                conn, max_qos_retries=max_qos_retries)
         #: key -> (version, value) of the latest *acknowledged* PUT:
         #: the read-your-writes obligation.
         self.acked: Dict[int, Tuple[int, int]] = {}
@@ -89,10 +101,18 @@ class ClusterClient:
         return (value if found else None), version, found
 
     def _call_routed(self, key: int, op: int, body: bytes):
-        """Route to the shard's primary; fail over on timeout (generator)."""
+        """Route to the shard's primary; fail over on timeout (generator).
+
+        Two kinds of retry, both deterministic: a dead primary surfaces
+        as :class:`~repro.errors.RpcTimeout` and triggers failover with
+        exponential backoff; an over-rate tenant gets a typed ``EAGAIN``
+        whose body says exactly how long to sleep before the same
+        request will be admitted.
+        """
         shard = self.cluster.ring.shard_for(key)
         started = self.cluster.sim.now
         attempt = 0
+        qos_waits = 0
         while True:
             target_id = self.cluster.primary[shard]
             try:
@@ -106,6 +126,17 @@ class ClusterClient:
                     raise
                 yield self.cluster.sim.timeout(
                     self.retry_backoff_ns << (attempt - 1))
+                continue
+            if status == wire.STATUS_EAGAIN:
+                retry_after_ns, reason, tenant = \
+                    wire.decode_qos_reject(reply)
+                if qos_waits >= self.max_qos_retries:
+                    raise QosRejected(reason,
+                                      retry_after_ns=retry_after_ns,
+                                      tenant=tenant)
+                qos_waits += 1
+                self.qos_backoffs += 1
+                yield self.cluster.sim.timeout(max(1, retry_after_ns))
                 continue
             wire.raise_for_status(status, reply.decode("utf-8", "replace"))
             self._note_ok(shard, started)

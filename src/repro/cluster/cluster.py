@@ -53,6 +53,7 @@ from repro.kernel.recovery import fsck
 from repro.net import Connection, NetConfig, NetworkFabric, StorageTarget
 from repro.net import wire
 from repro.obs import events as obs_events
+from repro.qos import QosConfig
 from repro.sim import Simulator
 
 __all__ = ["ClusterTarget", "DATA_PATH", "RECORD_SIZE", "RejoinReport",
@@ -218,6 +219,10 @@ class ClusterTarget(StorageTarget):
         for state in self._clients.values():
             state.fds.clear()
             state.chains.clear()
+            # Accounting rows for the pre-crash incarnation are stale
+            # too: without this, every crash/rejoin cycle leaked one
+            # pending/total row per client process.
+            self.accounting.forget(state.proc)
 
 
 class StorageCluster:
@@ -229,7 +234,8 @@ class StorageCluster:
                  journal_blocks: int = 64,
                  fault_spec: Optional[FaultSpec] = None,
                  crash_victim: int = 0, repl_retries: int = 2,
-                 repl_timeout_ns: int = 300_000):
+                 repl_timeout_ns: int = 300_000,
+                 qos: Optional[QosConfig] = None):
         if shards < 1:
             raise InvalidArgument("cluster needs at least one shard")
         self.sim = sim
@@ -244,7 +250,8 @@ class StorageCluster:
         for t in range(shards):
             config = KernelConfig(
                 cores=cores, seed=seed + t, write_cache_depth=cache_depth,
-                journal=JournalConfig(journal_blocks=journal_blocks))
+                journal=JournalConfig(journal_blocks=journal_blocks),
+                qos=qos)
             target = ClusterTarget(sim, model=model, config=config,
                                    target_id=t, cluster=self,
                                    capacity_keys=capacity_keys)
@@ -302,7 +309,8 @@ class StorageCluster:
                           timeout_ns=self._repl_timeout_ns,
                           max_retries=self._repl_retries)
         self._repl_generation += 1
-        self.targets[replica].attach(conn)
+        # Replication is system traffic: never admission-controlled.
+        self.targets[replica].attach(conn, tenant="")
         self._repl_conns[shard] = conn
         self._repl_conn_target[shard] = replica
         return conn
@@ -312,7 +320,7 @@ class StorageCluster:
         conn = self._ctl_conns.get(target_id)
         if conn is None:
             conn = Connection(self.fabric, f"ctl-t{target_id}")
-            self.targets[target_id].attach(conn)
+            self.targets[target_id].attach(conn, tenant="")
             self._ctl_conns[target_id] = conn
         return conn
 

@@ -1,14 +1,22 @@
-"""Per-process chained-resubmission accounting (paper §4, Fairness).
+"""Per-tenant chained-resubmission accounting (paper §4, Fairness).
 
 The NVMe layer cannot enforce fairness through the block scheduler (BPF
 reissues never pass through it), so the paper proposes a per-process counter
 of chained submissions with a hard bound per chain, periodically drained to
 the BIO layer for accounting.  Both pieces are implemented here.
+
+Accounting keys on the *tenant* when the charged process carries one
+(:attr:`~repro.kernel.process.Process.tenant`), falling back to the pid
+for untenanted processes — so a tenant's counters survive its processes.
+Per-connection target processes are torn down and respawned across
+cluster rejoins; pid-keyed entries leaked one row per incarnation, while
+a tenant key is reused and :meth:`ChainAccounting.forget` clears what a
+teardown leaves behind.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Union
 
 from repro.errors import InvalidArgument
 from repro.obs import events as obs_events
@@ -16,9 +24,18 @@ from repro.obs.bus import NULL_BUS
 
 __all__ = ["ChainAccounting"]
 
+#: An accounting key: a tenant name, or a pid for untenanted processes.
+Owner = Union[int, str]
+
+
+def _sort_key(key: Owner):
+    """Order int pids numerically before str tenant names (stable)."""
+    return (isinstance(key, str), key if isinstance(key, int) else 0,
+            str(key))
+
 
 class ChainAccounting:
-    """Tracks chained resubmissions per process and bounds chain depth."""
+    """Tracks chained resubmissions per tenant and bounds chain depth."""
 
     def __init__(self, max_chain_hops: int = 64):
         if max_chain_hops < 1:
@@ -28,30 +45,46 @@ class ChainAccounting:
         #: kernel's bus/clock; standalone instances keep disabled defaults.
         self.bus = NULL_BUS
         self.clock: Callable[[], int] = lambda: 0
-        #: Cumulative resubmissions per pid since the last drain.
-        self._pending: Dict[int, int] = {}
-        #: Lifetime totals per pid (never reset; for tests/metrics).
-        self.totals: Dict[int, int] = {}
-        #: Chains killed by the bound, per pid.
-        self.chains_killed: Dict[int, int] = {}
+        #: Cumulative resubmissions per owner since the last drain.
+        self._pending: Dict[Owner, int] = {}
+        #: Lifetime totals per owner (never reset; for tests/metrics).
+        self.totals: Dict[Owner, int] = {}
+        #: Chains killed by the bound, per owner.
+        self.chains_killed: Dict[Owner, int] = {}
 
-    def may_resubmit(self, pid: int, hops_completed: int) -> bool:
+    @staticmethod
+    def key_for(owner) -> Owner:
+        """The accounting key: tenant name if the owner has one, else pid.
+
+        Accepts a :class:`~repro.kernel.process.Process` or an already-
+        resolved key (pid or tenant name), so call sites and tests can
+        pass whichever they hold.
+        """
+        tenant = getattr(owner, "tenant", None)
+        if tenant is not None:
+            return tenant.name
+        pid = getattr(owner, "pid", None)
+        return pid if pid is not None else owner
+
+    def may_resubmit(self, owner, hops_completed: int) -> bool:
         """True if a chain with ``hops_completed`` hops may issue another."""
         return hops_completed < self.max_chain_hops
 
     def budget_remaining(self, hops_completed: int) -> int:
         return max(0, self.max_chain_hops - hops_completed)
 
-    def charge(self, pid: int) -> None:
-        """Record one chained resubmission for ``pid``."""
-        self._pending[pid] = self._pending.get(pid, 0) + 1
-        self.totals[pid] = self.totals.get(pid, 0) + 1
+    def charge(self, owner) -> None:
+        """Record one chained resubmission for ``owner``'s tenant/pid."""
+        key = self.key_for(owner)
+        self._pending[key] = self._pending.get(key, 0) + 1
+        self.totals[key] = self.totals.get(key, 0) + 1
 
-    def record_kill(self, pid: int) -> None:
-        self.chains_killed[pid] = self.chains_killed.get(pid, 0) + 1
+    def record_kill(self, owner) -> None:
+        key = self.key_for(owner)
+        self.chains_killed[key] = self.chains_killed.get(key, 0) + 1
 
-    def drain_to_bio(self) -> Dict[int, int]:
-        """Hand the per-process counts to the BIO layer (paper §4).
+    def drain_to_bio(self) -> Dict[Owner, int]:
+        """Hand the per-tenant counts to the BIO layer (paper §4).
 
         Returns and clears the pending counters; the caller (the BIO
         accounting tick) can feed them into whatever fairness policy it
@@ -60,10 +93,23 @@ class ChainAccounting:
         drained, self._pending = self._pending, {}
         if self.bus.enabled:
             self.bus.emit(obs_events.RESUBMIT_DRAIN, self.clock(),
-                          pids={str(pid): count
-                                for pid, count in sorted(drained.items())},
+                          pids={str(key): count
+                                for key, count in sorted(drained.items(),
+                                                         key=_sort_key)},
                           total=sum(drained.values()))
         return drained
 
-    def pending(self, pid: int) -> int:
-        return self._pending.get(pid, 0)
+    def pending(self, owner) -> int:
+        return self._pending.get(self.key_for(owner), 0)
+
+    def forget(self, owner) -> None:
+        """Drop all state for ``owner`` (process/tenant teardown).
+
+        Called when a target tears down per-connection processes (detach,
+        crash, rejoin) so a departed owner cannot leak pending/total/kill
+        entries across incarnations.
+        """
+        key = self.key_for(owner)
+        self._pending.pop(key, None)
+        self.totals.pop(key, None)
+        self.chains_killed.pop(key, None)

@@ -19,6 +19,7 @@ a simulated thread.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, Optional, Tuple
 
 from repro.ebpf.maps import BpfMap
@@ -67,9 +68,11 @@ class InstallRequest:
     scratch_size: int = 256
     args: Tuple[int, ...] = ()
     maps: Optional[Dict[int, BpfMap]] = None
-    jit: bool = True
-    #: Execution tier ("interp" | "jit" | "block").  None defers to the
-    #: legacy ``jit`` flag: False -> interp, True -> block (the default).
+    #: DEPRECATED — use ``vm_mode``.  Accepted one more release: an
+    #: explicit True/False warns and maps to "block"/"interp"; leaving
+    #: it ``None`` (the default) is the supported path.
+    jit: Optional[bool] = None
+    #: Execution tier ("interp" | "jit" | "block"); "block" by default.
     vm_mode: Optional[str] = None
 
     def __post_init__(self):
@@ -93,6 +96,26 @@ class InstallRequest:
                 self.vm_mode not in ("interp", "jit", "block"):
             raise InvalidArgument(
                 f"vm_mode: unknown execution tier {self.vm_mode!r}")
+        if self.jit is not None:
+            warnings.warn(
+                "InstallRequest.jit is deprecated; pass "
+                "vm_mode='block'/'jit' (jit=True) or vm_mode='interp' "
+                "(jit=False) instead", DeprecationWarning, stacklevel=3)
+            if self.jit and self.vm_mode == "interp":
+                raise InvalidArgument(
+                    "jit: jit=True contradicts vm_mode='interp'")
+            if not self.jit and self.vm_mode in ("jit", "block"):
+                raise InvalidArgument(
+                    f"jit: jit=False contradicts vm_mode={self.vm_mode!r}")
+
+    @property
+    def mode(self) -> str:
+        """The resolved execution tier ("interp" | "jit" | "block")."""
+        if self.vm_mode is not None:
+            return self.vm_mode
+        if self.jit is not None:
+            return "block" if self.jit else "interp"
+        return "block"
 
 
 class StorageBpf:
@@ -139,7 +162,7 @@ class StorageBpf:
         env.trace_bus = self.kernel.bus
         installation = BpfInstallation(
             program, arg.hook, arg.block_size, arg.scratch_size, env,
-            default_args=arg.args, jit=arg.jit, vm_mode=arg.vm_mode)
+            default_args=arg.args, vm_mode=arg.mode)
         # Propagate the file's extents to the NVMe layer (paper §4).
         yield from self.kernel.cpus.run_thread(
             self.kernel.cost.ioctl_install_ns)
@@ -172,13 +195,15 @@ class StorageBpf:
     def install(self, proc: Process, fd: int, program: Program,
                 hook: Hook = Hook.NVME, block_size: int = 4096,
                 scratch_size: int = 256, args: Tuple[int, ...] = (),
-                maps: Optional[Dict[int, BpfMap]] = None, jit: bool = True,
+                maps: Optional[Dict[int, BpfMap]] = None,
+                jit: Optional[bool] = None,
                 vm_mode: Optional[str] = None):
         """Install a program on ``fd`` via the special ioctl.
 
         Field validation (positive sizes, at most four args) happens in
         :class:`InstallRequest`, which raises :class:`InvalidArgument`
-        naming the offending field.
+        naming the offending field.  ``jit`` is deprecated — select the
+        execution tier with ``vm_mode`` instead.
         """
         request = InstallRequest(program, hook=hook, block_size=block_size,
                                  scratch_size=scratch_size, args=args,
@@ -191,7 +216,8 @@ class StorageBpf:
                    hook: Hook = Hook.NVME, block_size: int = 4096,
                    scratch_size: int = 256, args: Tuple[int, ...] = (),
                    maps: Optional[Dict[int, BpfMap]] = None,
-                   jit: bool = True, vm_mode: Optional[str] = None,
+                   jit: Optional[bool] = None,
+                   vm_mode: Optional[str] = None,
                    create: bool = False):
         """Open ``path`` and install ``program`` in one step.
 

@@ -210,6 +210,7 @@ class ChainEngine:
                     command = NvmeCommand("read", lba, sectors,
                                           cookie=IoCookie("irq", event=event),
                                           queue=queue)
+                    command.tenant = kernel.tenant_of(proc)
                     if bus.enabled:
                         command.span = span
                         command.path = "chain"
@@ -239,6 +240,7 @@ class ChainEngine:
         command = NvmeCommand("read", lba, sectors,
                               cookie=IoCookie("chain", chain=state),
                               queue=queue)
+        command.tenant = kernel.tenant_of(proc)
         if bus.enabled:
             command.span = span
             command.path = "chain"
@@ -310,6 +312,7 @@ class ChainEngine:
                 command = NvmeCommand("read", lba, sectors,
                                       cookie=IoCookie("irq", event=event),
                                       queue=queue)
+                command.tenant = kernel.tenant_of(proc)
                 if bus.enabled:
                     command.span = span
                     command.path = "chain"
@@ -322,6 +325,7 @@ class ChainEngine:
         command = NvmeCommand("read", lba, sectors,
                               cookie=IoCookie("chain", chain=state),
                               queue=queue)
+        command.tenant = kernel.tenant_of(proc)
         if bus.enabled:
             command.span = span
             command.path = "chain"
@@ -403,13 +407,13 @@ class ChainEngine:
 
             if action == ACTION_RESUBMIT:
                 next_offset = outputs["next_offset"]
-                if not self.accounting.may_resubmit(state.proc.pid,
+                if not self.accounting.may_resubmit(state.proc,
                                                     state.hops):
                     # Kill the chain for fairness.  The result carries the
                     # next offset and the scratch so the application can
                     # continue with a fresh (bounded) chain from where this
                     # one stopped.
-                    self.accounting.record_kill(state.proc.pid)
+                    self.accounting.record_kill(state.proc)
                     if bus.enabled:
                         bus.emit(obs_events.CHAIN_KILL, kernel.sim.now,
                                  pid=state.proc.pid, hops=state.hops,
@@ -459,14 +463,24 @@ class ChainEngine:
                             "read", lba, sectors,
                             cookie=IoCookie("irq", event=event),
                             queue=queue)
+                        split_cmd.tenant = kernel.tenant_of(state.proc)
                         if bus.enabled:
                             split_cmd.span = hop_span
                             split_cmd.path = "chain"
                             split_cmd.driver_ns = cost.nvme_driver_ns
                         kernel.device.submit(split_cmd)
                     return
-                self.accounting.charge(state.proc.pid)
+                self.accounting.charge(state.proc)
                 install.resubmissions += 1
+                qos = kernel.qos
+                if qos is not None:
+                    # Pace this tenant's chain storm: the resubmission
+                    # still happens, but beyond the configured rate it
+                    # waits out a deterministic delay first, so the IRQ
+                    # path cannot be monopolised by one tenant.
+                    delay = qos.chain_pace(qos.tenant_of(state.proc))
+                    if delay:
+                        yield kernel.sim.timeout(delay)
                 state.offset = next_offset
                 # retarget() preserves command.queue, so the recycled hop
                 # goes back out on the pair it arrived on and its next
@@ -529,9 +543,9 @@ class ChainEngine:
                          attempt=state.attempts + 1, span=hop_span,
                          path="chain")
         if state.attempts < policy.max_retries and \
-                self.accounting.may_resubmit(state.proc.pid, state.hops):
+                self.accounting.may_resubmit(state.proc, state.hops):
             state.attempts += 1
-            self.accounting.charge(state.proc.pid)
+            self.accounting.charge(state.proc)
             self.fault_retries += 1
             kernel.nvme_retries += 1
             backoff = policy.backoff_ns(state.attempts)
@@ -605,8 +619,8 @@ class ChainEngine:
                      instructions=instructions, action=action,
                      span=span, path="syscall")
         if action == ACTION_RESUBMIT:
-            if not self.accounting.may_resubmit(proc.pid, state.hops):
-                self.accounting.record_kill(proc.pid)
+            if not self.accounting.may_resubmit(proc, state.hops):
+                self.accounting.record_kill(proc)
                 if bus.enabled:
                     bus.emit(obs_events.CHAIN_KILL, kernel.sim.now,
                              pid=proc.pid, hops=state.hops, span=span,
@@ -615,7 +629,7 @@ class ChainEngine:
                                             status=ReadResult.CHAIN_LIMIT,
                                             hops=state.hops,
                                             final_offset=state.offset)
-            self.accounting.charge(proc.pid)
+            self.accounting.charge(proc)
             install.resubmissions += 1
             if bus.enabled:
                 bus.emit(obs_events.CHAIN_HOP, kernel.sim.now,

@@ -43,6 +43,11 @@ STATUS_TIMEOUT = 2
 #: Power was cut while the command was in flight; media was not touched.
 STATUS_POWER_FAIL = 3
 
+#: Submission-queue marker under WFQ: the Store carries one placeholder
+#: per queued command (preserving its wakeup semantics) while the real
+#: commands wait in the per-tenant fair queue.
+_WFQ_PLACEHOLDER = object()
+
 
 class NvmeCommand:
     """One NVMe command.
@@ -56,7 +61,7 @@ class NvmeCommand:
 
     __slots__ = ("opcode", "lba", "sectors", "data", "cookie", "source",
                  "submit_ns", "complete_ns", "status", "span", "path",
-                 "driver_ns", "fua", "queue")
+                 "driver_ns", "fua", "queue", "tenant")
 
     def __init__(self, opcode: str, lba: int, sectors: int,
                  data: Optional[bytes] = None, cookie: Any = None,
@@ -86,6 +91,12 @@ class NvmeCommand:
         #: it survives :meth:`retarget`, so a chain's recycled hops stay
         #: on the queue (and therefore the CPU core) they started on.
         self.queue = queue
+        #: Tenant charged for this I/O (a name, or None for kernel-internal
+        #: traffic).  Caller-owned context like ``span``/``queue``: it
+        #: survives :meth:`retarget`, so a chain's recycled hops keep
+        #: billing the tenant that started the chain.  The device only
+        #: consults it under QoS weighted-fair queueing.
+        self.tenant: Optional[str] = None
         self.submit_ns = -1
         self.complete_ns = -1
         self.status = 0
@@ -125,7 +136,7 @@ class NvmeDevice:
                  media: BlockDevice, rng: random.Random,
                  trace: Optional[IoTrace] = None,
                  bus: Optional[TraceBus] = None,
-                 cache_depth: int = 0, queues: int = 1):
+                 cache_depth: int = 0, queues: int = 1, qos=None):
         if queues < 1:
             raise InvalidArgument(f"need at least one queue pair, got {queues}")
         self.sim = sim
@@ -146,6 +157,16 @@ class NvmeDevice:
         self.bandwidth: Optional[Resource] = (
             Resource(sim, model.parallelism, name="nvme-bandwidth")
             if queues > 1 else None)
+        #: QoS manager (a :class:`repro.qos.QosManager`) and per-queue
+        #: weighted-fair schedulers.  Only materialised when the kernel
+        #: was built with a QosConfig that arms WFQ; otherwise submission
+        #: queues stay strict FIFO and behaviour is byte-identical to a
+        #: device predating QoS.
+        self.qos = qos
+        self._wfq = None
+        if qos is not None and qos.config.wfq:
+            from repro.qos.shapers import WfqScheduler
+            self._wfq = [WfqScheduler(qos.weight_of) for _ in range(queues)]
         #: Registered by the NVMe driver; invoked once per completion at the
         #: simulated completion instant.
         self.completion_handler: Optional[Callable[[NvmeCommand], None]] = None
@@ -228,7 +249,17 @@ class NvmeDevice:
                           driver_ns=command.driver_ns, span=command.span,
                           path=command.path, queue_depth=self.in_flight,
                           queue=queue)
-        self.submission_queues[queue].put(command)
+        if self._wfq is not None:
+            # WFQ arbitration: the command parks in the per-tenant fair
+            # queue and a placeholder keeps the Store's wakeup semantics;
+            # each freed service slot then dequeues the globally fairest
+            # command rather than the oldest one.
+            depth = self._wfq[queue].push(command.tenant, command,
+                                          cost=max(1, command.sectors))
+            self.qos.note_depth(queue, command.tenant, depth)
+            self.submission_queues[queue].put(_WFQ_PLACEHOLDER)
+        else:
+            self.submission_queues[queue].put(command)
 
     @property
     def queue_depth(self) -> int:
@@ -238,6 +269,10 @@ class NvmeDevice:
         sq = self.submission_queues[queue]
         while True:
             command = yield sq.get()
+            if command is _WFQ_PLACEHOLDER:
+                # Pushes and placeholders are 1:1, so the fair queue is
+                # never empty here.
+                _tenant, command = self._wfq[queue].pop()
             grant = None
             if self.bandwidth is not None:
                 # Multi-queue: admission to media is arbitrated across all

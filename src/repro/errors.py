@@ -9,6 +9,49 @@ extent-invalidation error to the application, which must re-run the ioctl).
 
 from __future__ import annotations
 
+import enum
+
+
+class Errno(enum.IntEnum):
+    """Typed errno codes shared by local, net, and cluster paths.
+
+    Values mirror Linux where a Linux errno exists; repro-specific
+    conditions (extent invalidation, chain limits, ...) live in a
+    private range >= 1000 so they can never collide with a real errno.
+    Members compare equal to their integer value, and ``Errno[name]``
+    maps the wire-format errno *name* back to the typed code, so clients
+    can switch on ``error.errno`` instead of parsing message strings.
+    """
+
+    ENOENT = 2
+    EIO = 5
+    EBADF = 9
+    EAGAIN = 11
+    EEXIST = 17
+    ENOTDIR = 20
+    EISDIR = 21
+    EINVAL = 22
+    ENOSPC = 28
+    EREMOTE = 66
+    EBADMSG = 74
+    ETIMEDOUT = 110
+    # -- repro-specific codes (no Linux equivalent) ---------------------
+    EVERIFY = 1001
+    EEXTENT = 1002
+    ECHAINLIM = 1003
+    ENOPROG = 1004
+    EPOWERFAIL = 1005
+    EFSCORRUPT = 1006
+    ENET = 1007
+
+    @classmethod
+    def from_name(cls, name: str) -> "Errno":
+        """Map an errno *name* to its typed code (unknown -> EREMOTE)."""
+        try:
+            return cls[name]
+        except KeyError:
+            return cls.EREMOTE
+
 
 class ReproError(Exception):
     """Base class for every error raised by the repro library."""
@@ -47,6 +90,8 @@ class VerifierError(BpfError):
     carries a human-readable reason referencing the offending instruction.
     """
 
+    errno = Errno.EVERIFY
+
     def __init__(self, reason: str, pc: int = -1):
         self.reason = reason
         self.pc = pc
@@ -82,6 +127,11 @@ class KernelError(ReproError):
     def __init__(self, message: str = ""):
         detail = f": {message}" if message else ""
         super().__init__(f"[{self.errno_name}]{detail}")
+
+    @property
+    def errno(self) -> Errno:
+        """The typed :class:`Errno` code matching :attr:`errno_name`."""
+        return Errno.from_name(self.errno_name)
 
 
 class BadFileDescriptor(KernelError):
@@ -161,6 +211,28 @@ class NotInstalled(KernelError):
     errno_name = "ENOPROG"
 
 
+class QosRejected(KernelError):
+    """Admission control refused work for a tenant that is over its rate.
+
+    Typed backpressure, not failure: carries ``retry_after_ns`` — the
+    simulated-time delay until the tenant's token bucket next holds a
+    token — so callers (and remote clients, over the wire) can back off
+    deterministically and retry instead of guessing.  ``errno`` is
+    :attr:`Errno.EAGAIN`, matching the kernel convention for "try again".
+    """
+
+    errno_name = "EAGAIN"
+
+    def __init__(self, message: str = "", *, retry_after_ns: int = 0,
+                 tenant: str = ""):
+        self.retry_after_ns = retry_after_ns
+        self.tenant = tenant
+        if not message:
+            message = (f"tenant {tenant or '?'} over rate; retry after "
+                       f"{retry_after_ns} ns")
+        super().__init__(message)
+
+
 # ---------------------------------------------------------------------------
 # Network / RPC errors (repro.net)
 # ---------------------------------------------------------------------------
@@ -215,10 +287,21 @@ class RemoteError(NetError):
 
     errno_name = "EREMOTE"
 
-    def __init__(self, remote_errno: str, reason: str = ""):
-        self.remote_errno = remote_errno
+    def __init__(self, remote_errno, reason: str = ""):
+        #: Typed :class:`Errno` code the target refused with.  Accepts a
+        #: wire-format errno name (or a bare code) for construction, but
+        #: always *exposes* the typed member so clients switch on
+        #: ``error.remote_errno is Errno.ENOENT`` across local, net, and
+        #: cluster paths.
+        if isinstance(remote_errno, Errno):
+            self.remote_errno = remote_errno
+        elif isinstance(remote_errno, int):
+            self.remote_errno = Errno(remote_errno)
+        else:
+            self.remote_errno = Errno.from_name(remote_errno)
         self.reason = reason
-        detail = f"{remote_errno}: {reason}" if reason else remote_errno
+        name = self.remote_errno.name
+        detail = f"{name}: {reason}" if reason else name
         super().__init__(f"target refused: {detail}")
 
 

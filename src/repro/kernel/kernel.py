@@ -42,6 +42,7 @@ from repro.kernel.layers import CostModel
 from repro.kernel.process import File, Process
 from repro.obs import events as obs_events
 from repro.obs.bus import TraceBus, get_default_bus
+from repro.qos import QosConfig, QosManager, Tenant
 from repro.sim import CpuSet, RandomStreams, Resource, Simulator
 
 __all__ = ["ChainStatus", "IoCookie", "Kernel", "KernelConfig",
@@ -130,6 +131,11 @@ class KernelConfig:
     #: ``scale`` experiment measures), or False to keep completions on the
     #: shared run queue.
     irq_steering: Optional[bool] = None
+    #: Multi-tenant QoS policy (:class:`repro.qos.QosConfig`).  None — the
+    #: default — builds no QoS machinery at all: no manager, no WFQ
+    #: arbitration, no admission buckets, and byte-identical behaviour to
+    #: a kernel predating the subsystem.
+    qos: Optional[QosConfig] = None
 
 
 class ChainStatus(str, enum.Enum):
@@ -241,11 +247,17 @@ class Kernel:
         if self.config.queue_pairs < 1:
             raise InvalidArgument(
                 f"queue_pairs must be >= 1, got {self.config.queue_pairs}")
+        #: The QoS authority; exists exactly when a QosConfig was given.
+        self.qos: Optional[QosManager] = (
+            QosManager(self.config.qos, bus=self.bus,
+                       clock=lambda: sim.now)
+            if self.config.qos is not None else None)
         self.device = NvmeDevice(sim, device_model, self.media,
                                  self.streams.stream("nvme"), trace=self.trace,
                                  bus=self.bus,
                                  cache_depth=self.config.write_cache_depth,
-                                 queues=self.config.queue_pairs)
+                                 queues=self.config.queue_pairs,
+                                 qos=self.qos)
         # Per-core IRQ steering: each queue pair's completion vector is
         # bound to core ``queue % cores``, so all completion-side work of
         # one pair (IRQ entry, the BPF hook, resubmission) serialises on
@@ -325,10 +337,25 @@ class Kernel:
     # Process management
     # ------------------------------------------------------------------
 
-    def spawn_process(self, name: str = "") -> Process:
-        proc = Process(self._next_pid, name)
+    def spawn_process(self, name: str = "",
+                      tenant: Optional[Any] = None) -> Process:
+        """Create a process, optionally bound to a tenant.
+
+        ``tenant`` is a :class:`repro.qos.Tenant` or a bare tenant name;
+        a name resolves through the QoS config (picking up its declared
+        weight) when one is active.  Untenanted processes account by pid,
+        exactly as before tenants existed.
+        """
+        if isinstance(tenant, str):
+            tenant = (self.qos.tenant(tenant) if self.qos is not None
+                      else Tenant(tenant))
+        proc = Process(self._next_pid, name, tenant=tenant)
         self._next_pid += 1
         return proc
+
+    def tenant_of(self, proc: Process) -> Optional[str]:
+        """The tenant name charged for ``proc``'s I/O (None = untenanted)."""
+        return proc.tenant.name if proc.tenant is not None else None
 
     # ------------------------------------------------------------------
     # Syscalls (each is a generator run inside a simulated thread)
@@ -463,12 +490,14 @@ class Kernel:
             hook_state = {}
         hook_state["span"] = span
         queue = self.queue_for(proc)
+        tenant = self.tenant_of(proc)
         try:
             while True:  # syscall-dispatch hook reissue loop
                 data = yield from self._normal_read_path(file, offset, length,
                                                          span=span,
                                                          path=io_path,
-                                                         queue=queue)
+                                                         queue=queue,
+                                                         tenant=tenant)
                 result = ReadResult(data, final_offset=offset)
                 if syscall_hooked:
                     action, payload = yield from self.syscall_read_hook(
@@ -520,6 +549,7 @@ class Kernel:
                           cpu_ns=cost.bio_ns, segments=len(segments),
                           span=span, path="write")
         queue = self.queue_for(proc)
+        tenant = self.tenant_of(proc)
         if self.retry_enabled:
             consumed = 0
             for lba, sectors in segments:
@@ -527,7 +557,7 @@ class Kernel:
                 consumed += sectors * 512
                 yield from self._nvme_rw_retry("write", lba, sectors,
                                                chunk, span, "write",
-                                               queue=queue)
+                                               queue=queue, tenant=tenant)
         else:
             events = []
             consumed = 0
@@ -539,6 +569,7 @@ class Kernel:
                 command = NvmeCommand("write", lba, sectors, data=chunk,
                                       cookie=IoCookie("irq", event=event),
                                       queue=queue)
+                command.tenant = tenant
                 if span:
                     command.span = span
                     command.path = "write"
@@ -700,7 +731,8 @@ class Kernel:
 
     def _nvme_rw_retry(self, opcode: str, lba: int, sectors: int,
                        data: Optional[bytes], span: int, path: str,
-                       held: bool = False, queue: int = 0):
+                       held: bool = False, queue: int = 0,
+                       tenant: Optional[str] = None):
         """Submit one command with the driver retry policy; returns the
         successful completion or raises :class:`IoError`.
 
@@ -724,6 +756,7 @@ class Kernel:
                 opcode, lba, sectors, data=data,
                 cookie=IoCookie("poll" if held else "irq", event=event),
                 queue=queue)
+            command.tenant = tenant
             if attempt > 1:
                 command.source = "retry"
             if self.bus.enabled:
@@ -764,7 +797,7 @@ class Kernel:
 
     def _normal_read_path(self, file: File, offset: int, length: int,
                           span: int = 0, path: str = "normal",
-                          queue: int = 0):
+                          queue: int = 0, tenant: Optional[str] = None):
         """ext4 -> BIO -> driver -> device for one read; returns bytes."""
         cost = self.cost
         yield from self.cpus.run_thread(cost.filesystem_ns)
@@ -793,7 +826,7 @@ class Kernel:
                     for lba, sectors in segments:
                         completed = yield from self._nvme_rw_retry(
                             "read", lba, sectors, None, span, path,
-                            held=True, queue=queue)
+                            held=True, queue=queue, tenant=tenant)
                         chunks.append(completed.data)
                 else:
                     events = []
@@ -804,6 +837,7 @@ class Kernel:
                             "read", lba, sectors,
                             cookie=IoCookie("poll", event=event),
                             queue=queue)
+                        command.tenant = tenant
                         if self.bus.enabled:
                             command.span = span
                             command.path = path
@@ -826,7 +860,8 @@ class Kernel:
             chunks = []
             for lba, sectors in segments:
                 completed = yield from self._nvme_rw_retry(
-                    "read", lba, sectors, None, span, path, queue=queue)
+                    "read", lba, sectors, None, span, path, queue=queue,
+                    tenant=tenant)
                 chunks.append(completed.data)
         else:
             events = []
@@ -836,6 +871,7 @@ class Kernel:
                 command = NvmeCommand("read", lba, sectors,
                                       cookie=IoCookie("irq", event=event),
                                       queue=queue)
+                command.tenant = tenant
                 if self.bus.enabled:
                     command.span = span
                     command.path = path

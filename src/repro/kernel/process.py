@@ -34,11 +34,19 @@ class File:
 
 
 class Process:
-    """A process: pid, name, and a descriptor table."""
+    """A process: pid, name, descriptor table, and tenant identity.
 
-    def __init__(self, pid: int, name: str = ""):
+    ``tenant`` (a :class:`repro.qos.Tenant`, or ``None`` for untenanted
+    processes) is the isolation domain the process charges its I/O to:
+    fairness accounting, WFQ arbitration, and admission control all key
+    on it.  Processes of one tenant come and go — per-connection target
+    processes especially — while the tenant's accounting persists.
+    """
+
+    def __init__(self, pid: int, name: str = "", tenant: Optional[Any] = None):
         self.pid = pid
         self.name = name or f"proc-{pid}"
+        self.tenant = tenant
         self._fds: Dict[int, File] = {}
         self._next_fd = 3  # 0-2 reserved, as tradition demands
 

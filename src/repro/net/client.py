@@ -27,6 +27,7 @@ from typing import Optional, Tuple, Union
 
 from repro.core import Hook
 from repro.ebpf import Program
+from repro.errors import QosRejected
 from repro.net import wire
 from repro.net.transport import Connection
 from repro.structures.pages import PAGE_SIZE, decode_page, search_page
@@ -52,8 +53,35 @@ class RemoteChainResult:
 class RemoteClient:
     """A storage client talking to one :class:`StorageTarget`."""
 
-    def __init__(self, connection: Connection):
+    def __init__(self, connection: Connection, max_qos_retries: int = 8):
         self.connection = connection
+        #: EAGAIN backpressure: how many times to sleep-and-retry before
+        #: surfacing :class:`~repro.errors.QosRejected` to the caller.
+        self.max_qos_retries = max_qos_retries
+        #: Backoffs actually taken (for tests/metrics).
+        self.qos_backoffs = 0
+
+    def _call(self, op: int, body: bytes):
+        """One RPC with deterministic QoS backoff (generator).
+
+        An EAGAIN reply carries the target's simulated-time
+        ``retry_after_ns``; the client sleeps exactly that long and
+        retries, so the same seed replays the same backoff schedule.
+        After ``max_qos_retries`` refusals the typed
+        :class:`~repro.errors.QosRejected` propagates to the caller.
+        """
+        attempts = 0
+        while True:
+            status, reply = yield from self.connection.call(op, body)
+            if status != wire.STATUS_EAGAIN:
+                return status, reply
+            retry_after_ns, reason, tenant = wire.decode_qos_reject(reply)
+            if attempts >= self.max_qos_retries:
+                raise QosRejected(reason, retry_after_ns=retry_after_ns,
+                                  tenant=tenant)
+            attempts += 1
+            self.qos_backoffs += 1
+            yield self.connection.sim.timeout(max(1, retry_after_ns))
 
     # ------------------------------------------------------------------
     # Plain remote I/O
@@ -61,14 +89,14 @@ class RemoteClient:
 
     def read(self, path: str, offset: int, length: int):
         """Remote ``pread`` (generator returning the data bytes)."""
-        status, body = yield from self.connection.call(
+        status, body = yield from self._call(
             wire.OP_READ, wire.encode_read(path, offset, length))
         wire.raise_for_status(status, body.decode("utf-8", "replace"))
         return wire.decode_read_reply(body)
 
     def write(self, path: str, offset: int, data: bytes):
         """Remote ``pwrite`` (generator returning bytes written)."""
-        status, body = yield from self.connection.call(
+        status, body = yield from self._call(
             wire.OP_WRITE, wire.encode_write(path, offset, data))
         wire.raise_for_status(status, body.decode("utf-8", "replace"))
         return wire.decode_write_reply(body)
@@ -90,15 +118,14 @@ class RemoteClient:
         body = wire.encode_install_chain(path, hook_name, block_size,
                                          scratch_size, program.name,
                                          list(program.instructions))
-        status, reply = yield from self.connection.call(
-            wire.OP_INSTALL_CHAIN, body)
+        status, reply = yield from self._call(wire.OP_INSTALL_CHAIN, body)
         wire.raise_for_status(status, reply.decode("utf-8", "replace"))
         return wire.decode_install_chain_reply(reply)
 
     def exec_chain(self, chain_id: int, offset: int,
                    length: int = PAGE_SIZE, args: Tuple[int, ...] = ()):
         """Run an installed chain on the target (generator)."""
-        status, reply = yield from self.connection.call(
+        status, reply = yield from self._call(
             wire.OP_EXEC_CHAIN,
             wire.encode_exec_chain(chain_id, offset, length, args))
         wire.raise_for_status(status, reply.decode("utf-8", "replace"))

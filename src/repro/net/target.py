@@ -41,6 +41,7 @@ from repro.ebpf import Program
 from repro.errors import (
     InvalidArgument,
     KernelError,
+    QosRejected,
     ReproError,
     VerifierError,
 )
@@ -86,15 +87,39 @@ class StorageTarget:
         """Populate the target's file system without simulated time."""
         self.kernel.create_file(path, data)
 
-    def attach(self, connection: Connection) -> None:
-        """Serve RPCs arriving on ``connection`` (one process per client)."""
+    def attach(self, connection: Connection, tenant=None) -> None:
+        """Serve RPCs arriving on ``connection`` (one process per client).
+
+        ``tenant`` names the :class:`~repro.qos.Tenant` the connection's
+        process bills to (a name or a ``Tenant``).  When the kernel has
+        QoS armed and no tenant is given, the connection name becomes
+        the tenant, so every remote client is isolated by default; pass
+        ``tenant=""`` for infrastructure connections (replication,
+        control) that must bill to the system share instead.
+        """
         if connection.name in self._clients:
             raise InvalidArgument(
                 f"client {connection.name!r} already attached")
-        proc = self.kernel.spawn_process(f"net-{connection.name}")
+        if tenant == "":
+            tenant = None
+        elif tenant is None and self.kernel.qos is not None:
+            tenant = connection.name
+        proc = self.kernel.spawn_process(f"net-{connection.name}",
+                                         tenant=tenant)
         state = _ClientState(proc)
         self._clients[connection.name] = state
         connection.serve(lambda op, body: self._handle(state, op, body))
+
+    def detach(self, name: str) -> None:
+        """Forget a client's server-side state (process teardown).
+
+        Drops the per-connection process and clears its accounting rows
+        so a departed client cannot leak pid-keyed entries across
+        reattach cycles (tenant-keyed rows persist only while attached).
+        """
+        state = self._clients.pop(name, None)
+        if state is not None:
+            self.accounting.forget(state.proc)
 
     # ------------------------------------------------------------------
     # Request handling
@@ -102,6 +127,14 @@ class StorageTarget:
 
     def _handle(self, state: _ClientState, op: int, body: bytes):
         """Decode, execute, and encode one request (generator)."""
+        qos = self.kernel.qos
+        if qos is not None:
+            tenant = self.kernel.tenant_of(state.proc)
+            retry_after_ns = qos.admit(tenant)
+            if retry_after_ns:
+                return self._refuse_qos(
+                    QosRejected(retry_after_ns=retry_after_ns,
+                                tenant=tenant or ""))
         try:
             if op == wire.OP_READ:
                 reply = yield from self._op_read(state, body)
@@ -118,6 +151,8 @@ class StorageTarget:
                 reply = yield from extra
         except VerifierError as error:
             return self._refuse("EVERIFY", error.reason)
+        except QosRejected as error:
+            return self._refuse_qos(error)
         except KernelError as error:
             return self._refuse(error.errno_name, str(error))
         except ReproError as error:
@@ -139,6 +174,12 @@ class StorageTarget:
     def _refuse(self, errno_name: str, reason: str):
         self.refused[errno_name] = self.refused.get(errno_name, 0) + 1
         return wire.status_for_errno(errno_name), reason.encode("utf-8")
+
+    def _refuse_qos(self, error: QosRejected):
+        """An EAGAIN refusal with a structured retry-after body."""
+        self.refused["EAGAIN"] = self.refused.get("EAGAIN", 0) + 1
+        return wire.STATUS_EAGAIN, wire.encode_qos_reject(
+            error.retry_after_ns, str(error), error.tenant)
 
     def _fd_for(self, state: _ClientState, path: str):
         fd = state.fds.get(path)

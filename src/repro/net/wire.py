@@ -30,7 +30,12 @@ from typing import List, Optional, Tuple
 from repro.ebpf.isa import Instruction
 from repro.ebpf.isa import decode as decode_instructions
 from repro.ebpf.isa import encode as encode_instructions
-from repro.errors import FramingError, RemoteError, RemoteVerifierRejected
+from repro.errors import (
+    FramingError,
+    QosRejected,
+    RemoteError,
+    RemoteVerifierRejected,
+)
 
 __all__ = [
     "MAGIC",
@@ -43,6 +48,7 @@ __all__ = [
     "OP_REPLICATE",
     "OP_WRITE",
     "REPLY",
+    "STATUS_EAGAIN",
     "STATUS_NAMES",
     "STATUS_OK",
     "decode_exec_chain",
@@ -54,6 +60,7 @@ __all__ = [
     "decode_install_chain_reply",
     "decode_put",
     "decode_put_reply",
+    "decode_qos_reject",
     "decode_read",
     "decode_read_reply",
     "decode_replicate",
@@ -69,12 +76,14 @@ __all__ = [
     "encode_install_chain_reply",
     "encode_put",
     "encode_put_reply",
+    "encode_qos_reject",
     "encode_read",
     "encode_read_reply",
     "encode_replicate",
     "encode_replicate_reply",
     "encode_write",
     "encode_write_reply",
+    "raise_for_reply",
     "raise_for_status",
     "status_for_errno",
 ]
@@ -102,8 +111,11 @@ OP_NAMES = {OP_READ: "read", OP_WRITE: "write",
 STATUS_OK = 0
 #: Refusal codes, one per errno name the target can send back.
 STATUS_NAMES = {0: "OK", 1: "EVERIFY", 2: "ENOENT", 3: "EINVAL", 4: "EIO",
-                5: "ECHAINLIM", 6: "ENOPROG", 7: "EBADMSG", 8: "EREMOTE"}
+                5: "ECHAINLIM", 6: "ENOPROG", 7: "EBADMSG", 8: "EREMOTE",
+                9: "EAGAIN"}
 _ERRNO_TO_STATUS = {name: code for code, name in STATUS_NAMES.items()}
+#: Admission-control backpressure (typed EAGAIN, body carries retry-after).
+STATUS_EAGAIN = _ERRNO_TO_STATUS["EAGAIN"]
 
 
 def status_for_errno(errno_name: str) -> int:
@@ -118,7 +130,43 @@ def raise_for_status(status: int, reason: str) -> None:
     errno_name = STATUS_NAMES.get(status, "EREMOTE")
     if errno_name == "EVERIFY":
         raise RemoteVerifierRejected(errno_name, reason)
+    if errno_name == "EAGAIN":
+        # Callers with the raw body use raise_for_reply and get the
+        # decoded retry-after; a reason-only caller still gets the type.
+        raise QosRejected(reason)
     raise RemoteError(errno_name, reason)
+
+
+def raise_for_reply(status: int, body: bytes) -> None:
+    """Re-raise a refusal reply, decoding structured refusal bodies.
+
+    Like :func:`raise_for_status`, but takes the raw reply body so an
+    EAGAIN refusal can surface its ``retry_after_ns`` (the body is
+    :func:`encode_qos_reject`, not a bare UTF-8 reason).
+    """
+    if status == STATUS_OK:
+        return
+    if status == STATUS_EAGAIN:
+        retry_after_ns, reason, tenant = decode_qos_reject(body)
+        raise QosRejected(reason, retry_after_ns=retry_after_ns,
+                          tenant=tenant)
+    raise_for_status(status, body.decode("utf-8", "replace"))
+
+
+def encode_qos_reject(retry_after_ns: int, reason: str = "",
+                      tenant: str = "") -> bytes:
+    """Body of an EAGAIN refusal: retry-after, tenant, and a reason."""
+    return (struct.pack("!Q", retry_after_ns) + _pack_str(tenant) +
+            reason.encode("utf-8"))
+
+
+def decode_qos_reject(body: bytes) -> Tuple[int, str, str]:
+    """``body`` -> (retry_after_ns, reason, tenant)."""
+    cursor = _Cursor(body)
+    (retry_after_ns,) = cursor.take("!Q")
+    tenant = cursor.take_str()
+    reason = cursor.body[cursor.pos:].decode("utf-8", "replace")
+    return retry_after_ns, reason, tenant
 
 
 # ---------------------------------------------------------------------------

@@ -112,6 +112,17 @@ event type                emitted by / meaning
                           as replica; ``target``, ``replayed_txns``,
                           ``discarded_txns``, ``fsck_ok``,
                           ``caught_up``.
+``qos_admit_reject``      admission control refused a tenant's op with
+                          typed EAGAIN backpressure; ``tenant``,
+                          ``cost``, ``retry_after_ns``, ``rejected``
+                          (cumulative refusals for this tenant).
+``qos_throttle``          the chain engine paced a tenant's resubmission
+                          to stay within rate; ``tenant``, ``delay_ns``,
+                          ``throttles`` (cumulative).
+``qos_tenant_depth``      a command entered a WFQ submission queue;
+                          ``tenant`` ("_system" for kernel-internal
+                          I/O), ``queue``, ``depth`` (the tenant's
+                          queued commands after the enqueue).
 ========================  =====================================================
 """
 
@@ -156,6 +167,9 @@ __all__ = [
     "NVME_SUBMIT",
     "NVME_TIMEOUT",
     "POWER_LOSS",
+    "QOS_ADMIT_REJECT",
+    "QOS_TENANT_DEPTH",
+    "QOS_THROTTLE",
     "RESUBMIT_DRAIN",
     "SPAN_END",
     "SPAN_START",
@@ -203,6 +217,9 @@ NET_RETRY = "net_retry"
 CLUSTER_REPLICATE = "cluster_replicate"
 CLUSTER_FAILOVER = "cluster_failover"
 CLUSTER_REJOIN = "cluster_rejoin"
+QOS_ADMIT_REJECT = "qos_admit_reject"
+QOS_THROTTLE = "qos_throttle"
+QOS_TENANT_DEPTH = "qos_tenant_depth"
 
 
 class TraceEvent:

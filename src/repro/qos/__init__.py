@@ -1,0 +1,30 @@
+"""Multi-tenant QoS: tenants, token buckets, WFQ, and admission control.
+
+The subsystem the exokernel story needs at production traffic levels:
+
+* :mod:`~repro.qos.tenancy` — :class:`Tenant` identity and the
+  :class:`QosConfig` policy block (default-off; a kernel without one is
+  byte-identical to a tree without this package).
+* :mod:`~repro.qos.shapers` — deterministic :class:`TokenBucket` and
+  start-time-fair :class:`WfqScheduler` primitives.
+* :mod:`~repro.qos.manager` — :class:`QosManager`, the per-kernel
+  authority consulted by storage-target admission, NVMe submission-queue
+  arbitration, and chain-engine pacing.
+
+Backpressure is typed end to end: an admission refusal raises (or is
+carried over the wire as) :class:`repro.errors.QosRejected` with errno
+``EAGAIN`` and a simulated-time ``retry_after_ns``.
+"""
+
+from repro.qos.manager import QosManager
+from repro.qos.shapers import SCALE, TokenBucket, WfqScheduler
+from repro.qos.tenancy import QosConfig, Tenant
+
+__all__ = [
+    "QosConfig",
+    "QosManager",
+    "SCALE",
+    "Tenant",
+    "TokenBucket",
+    "WfqScheduler",
+]

@@ -66,7 +66,7 @@ def walker_program(bpf, name="walker", block_size=4096):
     return program
 
 
-def install_walker(sim, kernel, bpf, path, hook=Hook.NVME, jit=True,
+def install_walker(sim, kernel, bpf, path, hook=Hook.NVME, vm_mode=None,
                    proc=None, block_size=4096):
     """Open ``path``, install the walker; returns (proc, fd)."""
     proc = proc or kernel.spawn_process()
@@ -74,8 +74,8 @@ def install_walker(sim, kernel, bpf, path, hook=Hook.NVME, jit=True,
 
     def setup():
         fd = yield from kernel.sys_open(proc, path)
-        yield from bpf.install(proc, fd, program, hook=hook, jit=jit,
-                               block_size=block_size)
+        yield from bpf.install(proc, fd, program, hook=hook,
+                               vm_mode=vm_mode, block_size=block_size)
         return fd
 
     fd = kernel.run_syscall(setup())

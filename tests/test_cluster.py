@@ -23,7 +23,7 @@ from repro.cluster import (
     stable_hash,
 )
 from repro.core.library import index_traversal_program
-from repro.errors import InvalidArgument, RemoteError
+from repro.errors import Errno, InvalidArgument, RemoteError
 from repro.faults import FaultSpec
 from repro.sim import Simulator
 
@@ -186,7 +186,7 @@ def test_key_outside_capacity_is_typed_refusal():
 
     with pytest.raises(RemoteError) as excinfo:
         sim.run_process(workload())
-    assert excinfo.value.remote_errno == "EINVAL"
+    assert excinfo.value.remote_errno is Errno.EINVAL
     # The refusal did not take the target down.
     assert run_puts(sim, client, [(7, 70)]) == [1]
 

@@ -27,10 +27,10 @@ def make_list_machine(order=ORDER, **kwargs):
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("jit", [True, False])
-def test_nvme_chain_walks_to_the_end(jit):
+@pytest.mark.parametrize("vm_mode", ["block", "interp"])
+def test_nvme_chain_walks_to_the_end(vm_mode):
     sim, kernel, bpf = make_list_machine()
-    proc, fd = install_walker(sim, kernel, bpf, "/list", jit=jit)
+    proc, fd = install_walker(sim, kernel, bpf, "/list", vm_mode=vm_mode)
 
     def workload():
         result = yield from bpf.read_chain(proc, fd, ORDER[0] * 4096, 4096)

@@ -16,6 +16,7 @@ from repro.core.library import index_traversal_program
 from repro.ebpf import Program, assemble
 from repro.ebpf.isa import encode as encode_instructions
 from repro.errors import (
+    Errno,
     FramingError,
     InvalidArgument,
     RemoteError,
@@ -174,14 +175,14 @@ def test_remote_errors_are_typed_not_crashes():
 
     with pytest.raises(RemoteError) as excinfo:
         sim.run_process(missing())
-    assert excinfo.value.remote_errno == "ENOENT"
+    assert excinfo.value.remote_errno is Errno.ENOENT
 
     def unaligned():
         yield from client.read("/data", 0, 64)
 
     with pytest.raises(RemoteError) as excinfo:
         sim.run_process(unaligned())
-    assert excinfo.value.remote_errno == "EINVAL"
+    assert excinfo.value.remote_errno is Errno.EINVAL
     assert target.refused == {"ENOENT": 1, "EINVAL": 1}
 
     # The target is still alive and serving after both refusals.
@@ -236,7 +237,7 @@ def test_exec_unknown_chain_id_is_refused():
 
     with pytest.raises(RemoteError) as excinfo:
         sim.run_process(workload())
-    assert excinfo.value.remote_errno == "EINVAL"
+    assert excinfo.value.remote_errno is Errno.EINVAL
 
 
 # ---------------------------------------------------------------------------
@@ -430,7 +431,7 @@ def test_combined_fault_domains_surface_typed_and_recover():
                                         bytes([index + 1]) * 4096)
                 outcomes.append("ok")
             except RemoteError as error:
-                outcomes.append(error.remote_errno)
+                outcomes.append(error.remote_errno.name)
             except RpcTimeout:
                 outcomes.append("timeout")
 
