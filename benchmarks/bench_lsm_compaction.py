@@ -1,0 +1,83 @@
+"""LSM compaction offload: boundary-crossing bytes and interference.
+
+Compaction is the paper's other auxiliary-I/O monster: a merge reads
+every input byte up across the syscall boundary and writes every output
+byte back down, purely to throw the inputs away.  This benchmark runs
+the same k-way merge (overlapping L0 runs, bottom-level tombstone drop)
+three ways — user-space pread/merge/pwrite, an installed per-run BPF
+merge chain (two u64 counters cross the boundary per run), and a single
+COMPACT RPC against a remote :class:`~repro.net.StorageTarget` — while
+foreground 512 B readers share the device, and reports the bytes each
+mode moves across the syscall/network boundary plus the foreground p99
+during the compaction window.
+"""
+
+import sys
+
+import harness
+
+from repro.bench.experiments import compaction
+from repro.bench.tables import format_table
+
+FULL = {"runs": 4, "keys_per_run": 600, "tombstones_per_run": 40}
+SMOKE = {"runs": 3, "keys_per_run": 200, "tombstones_per_run": 20}
+
+
+def _run_comparison(runs=4, keys_per_run=600, tombstones_per_run=40):
+    return compaction(runs=runs, keys_per_run=keys_per_run,
+                      tombstones_per_run=tombstones_per_run)
+
+
+COLUMNS = ["mode", "input_tables", "boundary_kb", "output_kb",
+           "output_entries", "dropped", "chain_hops", "compaction_us",
+           "fg_reads", "fg_p99_us"]
+
+
+def check_shape(rows):
+    by_mode = {row["mode"]: row for row in rows}
+    user = by_mode["user"]
+    offloaded = by_mode["offloaded"]
+    remote = by_mode["remote"]
+    # All three modes produce byte-identical output tables.
+    for row in (offloaded, remote):
+        assert row["output_kb"] == user["output_kb"]
+        assert row["output_entries"] == user["output_entries"]
+        assert row["dropped"] == user["dropped"]
+    # Offload moves at least 5x fewer bytes across the boundary
+    # (acceptance floor; in practice it is orders of magnitude).
+    assert user["boundary_kb"] >= 5 * offloaded["boundary_kb"]
+    assert user["boundary_kb"] >= 5 * remote["boundary_kb"]
+
+
+def test_lsm_compaction(benchmark):
+    rows = benchmark.pedantic(_run_comparison, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "LSM compaction — user vs offloaded vs remote boundary bytes",
+        COLUMNS, rows))
+    check_shape(rows)
+    by_mode = {row["mode"]: row for row in rows}
+    benchmark.extra_info["boundary_reduction_x"] = round(
+        by_mode["user"]["boundary_kb"] / by_mode["offloaded"]["boundary_kb"],
+        1)
+
+
+SPEC = harness.BenchSpec(
+    name="lsm_compaction",
+    title="LSM compaction — user vs offloaded vs remote boundary bytes",
+    func=_run_comparison,
+    columns=COLUMNS,
+    full=FULL,
+    smoke=SMOKE,
+    check=check_shape,
+    shape_note="identical outputs, offload moves >= 5x fewer boundary bytes",
+    metric_cols=["boundary_kb", "compaction_us", "fg_p99_us"],
+)
+
+
+def main(argv=None) -> int:
+    return harness.bench_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,9 @@
   SQ/CQ pairs with per-core IRQ steering), ``net_pushdown`` (BPF-oF's
   naive vs pushdown remote GETs over the simulated network),
   ``cluster_failover`` (sharded/replicated cluster: YCSB scaling plus a
-  mid-run target kill with failover and rejoin), and the ablations.
+  mid-run target kill with failover and rejoin), ``compaction`` (LSM
+  compaction boundary bytes: user-space vs chain-offloaded vs one-RPC
+  remote offload), and the ablations.
 
 Each experiment returns plain row dictionaries so the ``benchmarks/``
 pytest files, ``EXPERIMENTS.md``, and tests all consume the same data.
@@ -25,6 +27,7 @@ from repro.bench.experiments import (
     ablation_resubmit_bound,
     ablation_vm_mode,
     cluster_failover,
+    compaction,
     crash_consistency,
     extent_stability,
     fault_resilience,
@@ -47,6 +50,7 @@ __all__ = [
     "ablation_resubmit_bound",
     "ablation_vm_mode",
     "cluster_failover",
+    "compaction",
     "crash_consistency",
     "extent_stability",
     "fault_resilience",

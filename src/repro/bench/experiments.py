@@ -20,7 +20,7 @@ from repro.faults import FaultSpec, fault_injection
 from repro.kernel import CostModel, IoUring, Kernel, KernelConfig
 from repro.qos import QosConfig, Tenant
 from repro.sim import LatencyRecorder, Simulator, ThroughputMeter
-from repro.structures import BTree, FsBackend, KvStore
+from repro.structures import BTree, FsBackend, KvStore, LsmTree, SsTable
 from repro.structures.pages import PAGE_SIZE, search_page
 from repro.workloads import OpType, YcsbWorkload
 from repro.sim.rng import RandomStreams
@@ -33,6 +33,7 @@ __all__ = [
     "ablation_resubmit_bound",
     "ablation_vm_mode",
     "cluster_failover",
+    "compaction",
     "crash_consistency",
     "extent_stability",
     "fault_resilience",
@@ -726,6 +727,161 @@ def tenants(chain_depth: int = 12, victim_threads: int = 2,
     for row in rows:
         row["victim_p99_x_alone"] = row["victim_p99_us"] / baseline
     return rows
+
+
+# ---------------------------------------------------------------------------
+# LSM compaction offload — boundary bytes and foreground interference
+# ---------------------------------------------------------------------------
+
+
+def compaction(runs: int = 4, keys_per_run: int = 600,
+               tombstones_per_run: int = 40, readers: int = 2,
+               seed: int = 11, rtt_us: int = 10,
+               cores: int = 4) -> List[Dict]:
+    """LSM compaction: user-space vs chain-offloaded vs remote-offloaded.
+
+    The same overlapping-L0 compaction (``runs`` runs, tombstones
+    included, dropped at the bottom level) executes three ways while
+    foreground 512 B readers share the machine:
+
+    * ``user`` — every input page is pread into user space, merged by
+      the application, and the merged table written back down: each
+      byte crosses the syscall boundary twice (the paper's auxiliary
+      I/O tax, RESYSTANCE's write amplification).
+    * ``offloaded`` — one installed chain per input run streams entries
+      into the kernel-side merge sink; only two u64 counters per run
+      surface.  Expected shape: *at least 5x* (in practice orders of
+      magnitude) fewer boundary-crossing bytes at byte-identical output.
+    * ``remote`` — a :class:`~repro.net.StorageTarget` runs the whole
+      compaction server-side on one COMPACT RPC (the BPF-oF shape);
+      the boundary column counts network bytes, both directions.
+
+    All three modes must produce identical output tables; the ``fg``
+    columns expose how much each mode's compaction perturbs foreground
+    read latency.
+    """
+    rows = [
+        _compaction_cell(mode, runs, keys_per_run, tombstones_per_run,
+                         readers, seed, rtt_us, cores)
+        for mode in ("user", "offloaded", "remote")
+    ]
+    return rows
+
+
+def _seed_compaction_lsm(fs, runs: int, keys_per_run: int,
+                         tombstones_per_run: int) -> LsmTree:
+    """An overlapping L0: each run rewrites half the previous run's key
+    range and tombstones a slice of it, so the merge has real overwrite
+    and garbage-collection work to do."""
+    tree = LsmTree(fs, "/db", memtable_limit=4 * keys_per_run,
+                   l0_limit=runs + 4)
+    half = keys_per_run // 2
+    for run in range(runs):
+        base = run * half
+        for index in range(keys_per_run):
+            tree.put(base + index, run * 100_000 + index)
+        for index in range(tombstones_per_run):
+            tree.delete(base + index * 3)
+        tree.flush()
+    return tree
+
+
+def _compaction_cell(mode: str, runs: int, keys_per_run: int,
+                     tombstones_per_run: int, readers: int, seed: int,
+                     rtt_us: int, cores: int) -> Dict:
+    from repro.compact import CompactionEngine
+    from repro.net import (Connection, NetConfig, NetworkFabric,
+                          RemoteClient, StorageTarget)
+
+    sim = Simulator()
+    if mode == "remote":
+        target = StorageTarget(sim, model=NVM2_BENCH,
+                               config=KernelConfig(cores=cores, seed=seed))
+        kernel = target.kernel
+    else:
+        kernel = Kernel(sim, NVM2_BENCH,
+                        KernelConfig(cores=cores, seed=seed))
+    tree = _seed_compaction_lsm(kernel.fs, runs, keys_per_run,
+                                tombstones_per_run)
+    kernel.create_file("/fg", bytes(1 << 20))
+    streams = RandomStreams(seed)
+    done: List[bool] = []
+    fg_latency: List[int] = []
+
+    # Foreground readers run until the compaction completes (plus the
+    # op in flight), so the latency samples cover exactly the window
+    # the compaction perturbs.  In remote mode they run on the target —
+    # that is where the contention is.
+    def reader(index):
+        proc = kernel.spawn_process(f"fg-{index}")
+        fd = yield from kernel.sys_open(proc, "/fg")
+        rng = streams.fork(f"fg-{index}").stream("off")
+        while not done:
+            start = sim.now
+            offset = rng.randrange(2048) * 512
+            yield from kernel.sys_pread(proc, fd, offset, 512)
+            fg_latency.append(sim.now - start)
+
+    for index in range(readers):
+        sim.spawn(reader(index), name=f"fg-{index}")
+
+    out: Dict[str, object] = {}
+    if mode == "remote":
+        fabric = NetworkFabric(sim, NetConfig(
+            one_way_ns=rtt_us * 1000 // 2, seed=seed))
+        connection = Connection(fabric, "compactor")
+        target.attach(connection)
+        client = RemoteClient(connection)
+        plan = tree.plan_compaction(0)
+        output_path = tree.reserve_table_path()
+
+        def compactor():
+            start = sim.now
+            result = yield from client.compact(
+                output_path, plan.input_paths(),
+                drop_tombstones=plan.drop_tombstones)
+            inode = kernel.fs.lookup(output_path)
+            table = SsTable(FsBackend(kernel.fs, inode))
+            tree.apply_compaction(plan, [], output=(output_path, table))
+            out["boundary_bytes"] = result.net_bytes
+            out["emitted"] = result.emitted
+            out["dropped"] = result.dropped
+            out["output_entries"] = result.output_entries
+            out["output_bytes"] = result.output_bytes
+            out["chain_hops"] = result.chain_hops
+            out["duration_ns"] = sim.now - start
+            done.append(True)
+    else:
+        engine = CompactionEngine(StorageBpf(kernel))
+        proc = engine.spawn()
+
+        def compactor():
+            report = yield from engine.compact_tree(proc, tree, 0,
+                                                    mode=mode)
+            out["boundary_bytes"] = report.user_bytes
+            out["emitted"] = report.emitted
+            out["dropped"] = report.dropped
+            out["output_entries"] = report.output_entries
+            out["output_bytes"] = report.output_bytes
+            out["chain_hops"] = report.chain_hops
+            out["duration_ns"] = report.duration_ns
+            done.append(True)
+
+    sim.spawn(compactor(), name="compactor")
+    sim.run()
+    return {
+        "mode": mode,
+        "input_tables": runs,
+        "boundary_kb": round(out["boundary_bytes"] / 1024, 3),
+        "output_kb": round(out["output_bytes"] / 1024, 3),
+        "output_entries": out["output_entries"],
+        "emitted": out["emitted"],
+        "dropped": out["dropped"],
+        "chain_hops": out["chain_hops"],
+        "compaction_us": round(out["duration_ns"] / 1000, 2),
+        "fg_reads": len(fg_latency),
+        "fg_p99_us": round(_p99(fg_latency) / 1000, 2),
+    }
 
 
 def ablation_vm_mode(depth: int = 6, operations: int = 150) -> List[Dict]:

@@ -6,8 +6,8 @@ Commands:
   table (``--quick`` runs miniature versions in a few seconds).
 * ``experiment <name>`` — run one experiment (fig1, table1, fig3a, fig3b,
   fig3c, fig3d, stability, bound, churn, vmmode, appcache, interference,
-  resilience, crash, scale, pushdown, cluster).  An experiment name may
-  also be
+  resilience, crash, scale, pushdown, cluster, tenants, compaction).  An
+  experiment name may also be
   used as the top-level command (``python -m repro scale --json`` is
   shorthand for ``python -m repro experiment scale --json``).
   ``--json`` prints the rows as JSON instead of a table; ``--trace-jsonl
@@ -45,6 +45,7 @@ from repro.bench import (
     ablation_resubmit_bound,
     ablation_vm_mode,
     cluster_failover,
+    compaction,
     crash_consistency,
     extent_stability,
     fault_resilience,
@@ -154,6 +155,11 @@ _EXPERIMENTS = {
     "tenants": ("Multi-tenant QoS — victim p99 vs an aggressor tenant",
                 lambda quick: tenants(
                     duration_ns=2_000_000 if quick else 8_000_000)),
+    "compaction": ("LSM compaction — user vs offloaded vs remote bytes",
+                   lambda quick: compaction(
+                       runs=3 if quick else 4,
+                       keys_per_run=200 if quick else 600,
+                       tombstones_per_run=20 if quick else 40)),
 }
 
 _CRASH_MODES = ("flush", "op", "op-torn", "sync")

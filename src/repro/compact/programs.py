@@ -1,0 +1,148 @@
+"""The chain-installable SSTable merge leg.
+
+One compaction installs this program once per input run and issues a
+single tagged read at the first data page; the program then walks the
+run's contiguous data pages by resubmitting from the completion path —
+never surfacing a page to user space.  Every entry is pushed into the
+kernel-side merge sink through the ``compact_emit``/``compact_drop``
+helpers (ids 18/19), which upsert into a shared ordered map exactly the
+way user-space compaction folds runs oldest-first: scanning the runs
+oldest first makes newer entries overwrite older ones, and a
+bottom-level tombstone retires its key from the sink.
+
+Layout assumptions (matching :meth:`repro.structures.SsTable.build`):
+data pages are the contiguous blocks ``1..D`` starting at
+``PAGE_SIZE``, each ``(magic, level, nkeys, entries[(key, value)])``,
+and the first page whose magic is not ``SSTABLE_DATA_MAGIC`` (the first
+index page) terminates the walk.  The program keeps the sink's running
+counters in scratch so the terminating hop can return them:
+``result = entries emitted``, ``result2 = tombstones dropped``.
+
+Contract: ``arg0`` != 0 enables bottom-level tombstone dropping.
+Scratch layout: emitted count at offset 0, dropped count at offset 8.
+"""
+
+from __future__ import annotations
+
+from repro.core.hooks import (
+    ACTION_RESUBMIT,
+    ACTION_RETURN_VALUE,
+    CTX_ACTION,
+    CTX_ARG0,
+    CTX_DATA,
+    CTX_FILE_OFFSET,
+    CTX_NEXT_OFFSET,
+    CTX_RESULT,
+    CTX_RESULT2,
+    CTX_SCRATCH,
+    storage_ctx_layout,
+    storage_helpers,
+)
+from repro.ebpf.builder import ProgramBuilder
+from repro.ebpf.program import Program
+from repro.errors import InvalidArgument
+from repro.structures.pages import (
+    FANOUT_MAX,
+    PAGE_HEADER_SIZE,
+    SSTABLE_DATA_MAGIC,
+)
+
+__all__ = ["sstable_merge_program"]
+
+# Callee-saved registers (survive helper calls); r1-r5 are clobbered.
+R_CTX = 6       # saved context pointer
+R_PAGE = 7      # data page pointer
+R_I = 8         # entry index
+R_N = 9         # nkeys (clamped)
+
+
+def sstable_merge_program(block_size: int = 4096,
+                          scratch_size: int = 64,
+                          fanout: int = FANOUT_MAX,
+                          name: str = "sstable-merge") -> Program:
+    """Build the merge leg for one sorted run (see module docstring)."""
+    if not 2 <= fanout <= FANOUT_MAX:
+        raise InvalidArgument(f"fanout must be in [2, {FANOUT_MAX}]")
+    if scratch_size < 16:
+        raise InvalidArgument("merge program needs >= 16 scratch bytes")
+    layout = storage_ctx_layout(block_size, scratch_size)
+    b = ProgramBuilder(layout, storage_helpers().names(), name=name)
+    max_index = fanout - 1
+
+    # The context pointer moves to a callee-saved register up front: the
+    # helper calls below clobber r1-r5 every iteration.
+    b.mov_reg(R_CTX, 1)
+    b.ldx("dw", R_PAGE, R_CTX, CTX_DATA)
+    b.ldx("w", 2, R_PAGE, 0)                        # header.magic
+    finish = b.label("finish")
+    b.branch("jne", 2, finish, imm=SSTABLE_DATA_MAGIC)
+
+    # -- a data page: stream its entries into the sink -------------------
+    b.ldx("h", R_N, R_PAGE, 6)                      # header.nkeys
+    clamp = b.label()
+    b.branch("jle", R_N, clamp, imm=fanout)
+    b.mov(R_N, fanout)
+    b.place(clamp)
+    b.mov(R_I, 0)
+    # Zero the caller-saved temps so the loop back-edge rejoins the loop
+    # head with the same register state the first iteration enters with.
+    b.mov(0, 0)
+    b.mov(2, 0)
+    loop = b.label("loop")
+    page_done = b.label("page_done")
+    b.place(loop)
+    b.branch("jge", R_I, page_done, src=R_N)
+    clamped = b.label()
+    b.branch("jle", R_I, clamped, imm=max_index)
+    b.mov(R_I, max_index)                           # verifier clamp
+    b.place(clamped)
+    b.mov_reg(2, R_I)
+    b.alu("lsh", 2, imm=4)                          # i * 16
+    b.alu("add", 2, imm=PAGE_HEADER_SIZE)
+    b.alu("add", 2, src=R_PAGE)                     # &entries[i]
+    b.ldx("dw", 1, 2, 0)                            # r1 = key
+    b.ldx("dw", 2, 2, 8)                            # r2 = value
+    b.mov(3, -1)                                    # the tombstone pattern
+    emit = b.label("emit")
+    b.branch("jne", 2, emit, src=3)                 # live entry
+    b.ldx("dw", 4, R_CTX, CTX_ARG0)                 # drop_tombstones flag
+    b.branch("jeq", 4, emit, imm=0)                 # keep the tombstone
+    # A tombstone reaching the bottom level: retire the key (r1 holds it).
+    b.call("compact_drop")
+    b.ldx("dw", 2, R_CTX, CTX_SCRATCH)
+    b.stx("dw", 2, 8, 0)                            # scratch[8] = dropped
+    cont = b.label("cont")
+    b.jump(cont)
+    b.place(emit)
+    b.call("compact_emit")                          # r1 = key, r2 = value
+    b.ldx("dw", 2, R_CTX, CTX_SCRATCH)
+    b.stx("dw", 2, 0, 0)                            # scratch[0] = emitted
+    b.place(cont)
+    # Normalise temps so both call paths rejoin identically (r1/r3-r5
+    # are already uninitialised on both after the helper call).
+    b.mov(0, 0)
+    b.mov(2, 0)
+    b.alu("add", R_I, imm=1)
+    b.jump(loop)
+    b.place(page_done)
+    # Data pages are contiguous: recycle the descriptor at the next one.
+    b.ldx("dw", 2, R_CTX, CTX_FILE_OFFSET)
+    b.alu("add", 2, imm=block_size)
+    b.mov(3, ACTION_RESUBMIT)
+    b.stx("dw", R_CTX, CTX_ACTION, 3)
+    b.stx("dw", R_CTX, CTX_NEXT_OFFSET, 2)
+    b.mov(0, 0)
+    b.exit()
+
+    # -- first non-data page (the index): the run is fully streamed ------
+    b.place(finish)
+    b.ldx("dw", 3, R_CTX, CTX_SCRATCH)
+    b.mov(2, ACTION_RETURN_VALUE)
+    b.stx("dw", R_CTX, CTX_ACTION, 2)
+    b.ldx("dw", 2, 3, 0)
+    b.stx("dw", R_CTX, CTX_RESULT, 2)               # result = emitted
+    b.ldx("dw", 2, 3, 8)
+    b.stx("dw", R_CTX, CTX_RESULT2, 2)              # result2 = dropped
+    b.mov(0, 0)
+    b.exit()
+    return b.build()

@@ -144,4 +144,37 @@ def storage_helpers() -> HelperRegistry:
         trace_offset,
     )
 
+    # Compaction helpers (repro.compact).  A merge program streams the
+    # entries of each scanned data page into a kernel-side merge sink
+    # (``vm.compact_sink``, set by the CompactionEngine on the chain's
+    # installation): ``compact_emit`` upserts a live entry, while
+    # ``compact_drop`` retires a tombstoned key at the bottom level.
+    # Both return the sink's running count so the program can surface
+    # progress through result/result2 without the entries themselves
+    # ever crossing the kernel boundary.
+
+    def compact_emit(vm, key: int, value: int) -> int:
+        sink = getattr(vm, "compact_sink", None)
+        if sink is None:
+            return 0
+        return sink.emit(key & 0xFFFFFFFFFFFFFFFF,
+                         value & 0xFFFFFFFFFFFFFFFF)
+
+    registry.register(
+        HelperSpec(18, "compact_emit", (ArgKind.SCALAR, ArgKind.SCALAR),
+                   RetKind.SCALAR),
+        compact_emit,
+    )
+
+    def compact_drop(vm, key: int) -> int:
+        sink = getattr(vm, "compact_sink", None)
+        if sink is None:
+            return 0
+        return sink.drop(key & 0xFFFFFFFFFFFFFFFF)
+
+    registry.register(
+        HelperSpec(19, "compact_drop", (ArgKind.SCALAR,), RetKind.SCALAR),
+        compact_drop,
+    )
+
     return registry

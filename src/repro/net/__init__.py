@@ -24,7 +24,11 @@ package reproduces that shape on top of the existing chain engine:
 See ``docs/networking.md`` for the full protocol and fault semantics.
 """
 
-from repro.net.client import RemoteChainResult, RemoteClient
+from repro.net.client import (
+    RemoteChainResult,
+    RemoteClient,
+    RemoteCompactResult,
+)
 from repro.net.fabric import Link, NetConfig, NetworkFabric
 from repro.net.target import StorageTarget
 from repro.net.transport import Connection
@@ -36,5 +40,6 @@ __all__ = [
     "NetworkFabric",
     "RemoteChainResult",
     "RemoteClient",
+    "RemoteCompactResult",
     "StorageTarget",
 ]

@@ -32,7 +32,7 @@ from repro.net import wire
 from repro.net.transport import Connection
 from repro.structures.pages import PAGE_SIZE, decode_page, search_page
 
-__all__ = ["RemoteChainResult", "RemoteClient"]
+__all__ = ["RemoteChainResult", "RemoteClient", "RemoteCompactResult"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,21 @@ class RemoteChainResult:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class RemoteCompactResult:
+    """A COMPACT reply plus client-side boundary accounting."""
+
+    emitted: int
+    dropped: int
+    output_entries: int
+    output_bytes: int
+    chain_hops: int
+    #: Bytes this RPC moved across the network, both directions
+    #: (request + reply frames).  The whole point of the op: the merged
+    #: pages themselves never cross.
+    net_bytes: int
 
 
 class RemoteClient:
@@ -132,6 +147,33 @@ class RemoteClient:
         chain_status, hops, value, value2, data = \
             wire.decode_exec_chain_reply(reply)
         return RemoteChainResult(chain_status, hops, value, value2, data)
+
+    # ------------------------------------------------------------------
+    # Remote compaction offload
+    # ------------------------------------------------------------------
+
+    def compact(self, output_path: str, input_paths,
+                drop_tombstones: bool = False):
+        """Run a whole LSM compaction on the target (one RPC).
+
+        ``input_paths`` must be ordered oldest first (the merge fold
+        order — :meth:`~repro.structures.CompactionPlan.input_paths`).
+        Generator returning a :class:`RemoteCompactResult`; its
+        ``net_bytes`` counts both frames, which is the *entire* network
+        cost of the compaction — versus a client-side compaction that
+        READs every page up and WRITEs the merged table back.
+        """
+        body = wire.encode_compact(output_path, drop_tombstones,
+                                   list(input_paths))
+        status, reply = yield from self._call(wire.OP_COMPACT, body)
+        wire.raise_for_reply(status, reply)
+        emitted, dropped, output_entries, output_bytes, chain_hops = \
+            wire.decode_compact_reply(reply)
+        frame_overhead = 4 + wire._HEADER.size
+        net_bytes = (len(body) + frame_overhead +
+                     len(reply) + frame_overhead)
+        return RemoteCompactResult(emitted, dropped, output_entries,
+                                   output_bytes, chain_hops, net_bytes)
 
     # ------------------------------------------------------------------
     # The two GET strategies

@@ -77,6 +77,19 @@ class StorageTarget:
         self.executed: Dict[str, int] = {}
         #: Refusals sent, by errno-style status name.
         self.refused: Dict[str, int] = {}
+        self._compactor = None
+
+    @property
+    def _compaction_engine(self):
+        """The lazily-built server-side compaction engine (verify-once).
+
+        Imported lazily: repro.net must stay importable without pulling
+        the compaction stack in for targets that never see OP_COMPACT.
+        """
+        if self._compactor is None:
+            from repro.compact import CompactionEngine
+            self._compactor = CompactionEngine(self.bpf)
+        return self._compactor
 
     @property
     def accounting(self):
@@ -144,6 +157,8 @@ class StorageTarget:
                 reply = yield from self._op_install_chain(state, body)
             elif op == wire.OP_EXEC_CHAIN:
                 reply = yield from self._op_exec_chain(state, body)
+            elif op == wire.OP_COMPACT:
+                reply = yield from self._op_compact(state, body)
             else:
                 extra = self._handle_extra(state, op, body)
                 if extra is None:
@@ -235,3 +250,17 @@ class StorageTarget:
             str(result.status.value if hasattr(result.status, "value")
                 else result.status),
             result.hops, result.value, result.value2, result.data)
+
+    def _op_compact(self, state: _ClientState, body: bytes):
+        """Run a whole LSM compaction server-side (one RPC, zero pages
+        on the wire): merge the named input runs through the offloaded
+        chain engine and write the output table locally.  The caller
+        owns the level swap/unlinks, so the inputs are left in place."""
+        output_path, drop_tombstones, input_paths = wire.decode_compact(
+            body)
+        report, _output = yield from self._compaction_engine.compact_files(
+            state.proc, input_paths, output_path,
+            drop_tombstones=drop_tombstones, mode="offloaded")
+        return wire.encode_compact_reply(
+            report.emitted, report.dropped, report.output_entries,
+            report.output_bytes, report.chain_hops)

@@ -39,6 +39,7 @@ from repro.errors import (
 
 __all__ = [
     "MAGIC",
+    "OP_COMPACT",
     "OP_EXEC_CHAIN",
     "OP_GET",
     "OP_INSTALL_CHAIN",
@@ -51,6 +52,8 @@ __all__ = [
     "STATUS_EAGAIN",
     "STATUS_NAMES",
     "STATUS_OK",
+    "decode_compact",
+    "decode_compact_reply",
     "decode_exec_chain",
     "decode_exec_chain_reply",
     "decode_frame",
@@ -67,6 +70,8 @@ __all__ = [
     "decode_replicate_reply",
     "decode_write",
     "decode_write_reply",
+    "encode_compact",
+    "encode_compact_reply",
     "encode_exec_chain",
     "encode_exec_chain_reply",
     "encode_frame",
@@ -101,12 +106,16 @@ OP_EXEC_CHAIN = 4
 OP_PUT = 5
 OP_GET = 6
 OP_REPLICATE = 7
+#: Server-side LSM compaction (repro.compact): the target merges the
+#: named input runs into one output table in its own completion path.
+OP_COMPACT = 8
 #: High bit of the op byte marks a reply frame.
 REPLY = 0x80
 
 OP_NAMES = {OP_READ: "read", OP_WRITE: "write",
             OP_INSTALL_CHAIN: "install_chain", OP_EXEC_CHAIN: "exec_chain",
-            OP_PUT: "put", OP_GET: "get", OP_REPLICATE: "replicate"}
+            OP_PUT: "put", OP_GET: "get", OP_REPLICATE: "replicate",
+            OP_COMPACT: "compact"}
 
 STATUS_OK = 0
 #: Refusal codes, one per errno name the target can send back.
@@ -388,6 +397,38 @@ def encode_replicate_reply(version: int) -> bytes:
 
 def decode_replicate_reply(body: bytes) -> int:
     return _Cursor(body).take("!Q")[0]
+
+
+# ---------------------------------------------------------------------------
+# COMPACT (repro.compact, remote-offloaded mode)
+# ---------------------------------------------------------------------------
+
+
+def encode_compact(output_path: str, drop_tombstones: bool,
+                   input_paths: List[str]) -> bytes:
+    out = _pack_str(output_path) + struct.pack(
+        "!BH", 1 if drop_tombstones else 0, len(input_paths))
+    for path in input_paths:  # oldest first — the merge fold order
+        out += _pack_str(path)
+    return out
+
+
+def decode_compact(body: bytes) -> Tuple[str, bool, List[str]]:
+    cursor = _Cursor(body)
+    output_path = cursor.take_str()
+    drop, count = cursor.take("!BH")
+    input_paths = [cursor.take_str() for _ in range(count)]
+    return output_path, bool(drop), input_paths
+
+
+def encode_compact_reply(emitted: int, dropped: int, output_entries: int,
+                         output_bytes: int, chain_hops: int) -> bytes:
+    return struct.pack("!QQQQQ", emitted, dropped, output_entries,
+                       output_bytes, chain_hops)
+
+
+def decode_compact_reply(body: bytes) -> Tuple[int, int, int, int, int]:
+    return _Cursor(body).take("!QQQQQ")
 
 
 _HAS_VALUE = 0x1

@@ -123,6 +123,14 @@ event type                emitted by / meaning
                           ``tenant`` ("_system" for kernel-internal
                           I/O), ``queue``, ``depth`` (the tenant's
                           queued commands after the enqueue).
+``compact_start``         the compaction engine began executing a plan;
+                          ``mode`` ("user"/"offloaded"), ``tables``,
+                          ``drop_tombstones``, ``pid``.
+``compact_complete``      a compaction finished; ``mode``, ``emitted``,
+                          ``dropped``, ``output_entries``,
+                          ``user_bytes`` (crossed the syscall
+                          boundary), ``kernel_bytes`` (stayed below
+                          it), ``chain_hops``, ``pid``.
 ========================  =====================================================
 """
 
@@ -144,6 +152,8 @@ __all__ = [
     "CLUSTER_FAILOVER",
     "CLUSTER_REJOIN",
     "CLUSTER_REPLICATE",
+    "COMPACT_COMPLETE",
+    "COMPACT_START",
     "CONTEXT_SWITCH",
     "EXTENT_CACHE_HIT",
     "EXTENT_CACHE_INSTALL",
@@ -220,6 +230,8 @@ CLUSTER_REJOIN = "cluster_rejoin"
 QOS_ADMIT_REJECT = "qos_admit_reject"
 QOS_THROTTLE = "qos_throttle"
 QOS_TENANT_DEPTH = "qos_tenant_depth"
+COMPACT_START = "compact_start"
+COMPACT_COMPLETE = "compact_complete"
 
 
 class TraceEvent:

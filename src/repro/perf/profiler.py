@@ -42,8 +42,10 @@ __all__ = [
 ]
 
 #: ``repro.<package>`` -> hotspot-table subsystem label.  ``core`` is the
-#: in-kernel BPF machinery, so it is charged to the kernel; application
-#: structures/workloads and the bench driver are the workload itself.
+#: in-kernel BPF machinery, so it is charged to the kernel; the on-disk
+#: structures and the compaction engine get their own buckets (they run
+#: on both sides of the boundary); workloads and the bench driver are
+#: the workload itself.
 _PACKAGE_SUBSYSTEM = {
     "sim": "engine",
     "ebpf": "vm",
@@ -53,7 +55,8 @@ _PACKAGE_SUBSYSTEM = {
     "net": "net",
     "obs": "obs",
     "faults": "faults",
-    "structures": "app",
+    "structures": "structures",
+    "compact": "compact",
     "workloads": "app",
     "bench": "app",
 }

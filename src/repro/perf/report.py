@@ -25,7 +25,7 @@ __all__ = ["collapsed_stacks", "render_profile", "subsystem_totals"]
 
 #: Display order for the subsystem table.
 _SUBSYSTEM_ORDER = ["engine", "vm", "kernel", "device", "net", "obs",
-                    "faults", "app"]
+                    "faults", "structures", "compact", "app"]
 
 
 def subsystem_totals(profiler: Profiler) -> Dict[str, Dict[str, int]]:

@@ -20,7 +20,7 @@ with the BPF chain programs from :mod:`repro.core.library`.
 
 from repro.structures.btree import BTree, BTreeMeta
 from repro.structures.kvstore import KvStore
-from repro.structures.lsm import LsmTree, SsTable
+from repro.structures.lsm import CompactionPlan, LsmTree, SsTable, TOMBSTONE
 from repro.structures.wisckey import WisckeyStore
 from repro.structures.pages import (
     BTREE_PAGE_MAGIC,
@@ -35,6 +35,7 @@ __all__ = [
     "BTREE_PAGE_MAGIC",
     "BTree",
     "BTreeMeta",
+    "CompactionPlan",
     "FANOUT_MAX",
     "FileBackend",
     "FsBackend",
@@ -43,5 +44,6 @@ __all__ = [
     "MemoryBackend",
     "PAGE_SIZE",
     "SsTable",
+    "TOMBSTONE",
     "WisckeyStore",
 ]

@@ -39,7 +39,8 @@ from repro.structures.pages import (
     search_page,
 )
 
-__all__ = ["BloomFilter", "LsmTree", "SsTable", "TOMBSTONE"]
+__all__ = ["BloomFilter", "CompactionPlan", "LsmTree", "SsTable",
+           "TOMBSTONE"]
 
 #: Reserved value marking a deletion.
 TOMBSTONE = 0xFFFFFFFFFFFFFFFF
@@ -222,6 +223,48 @@ def _decode_entries(page: bytes):
     return decode_page(page)
 
 
+class CompactionPlan:
+    """Immutable snapshot of one ``level -> level + 1`` compaction.
+
+    A plan separates *deciding* a compaction from *executing* it so the
+    merge can run elsewhere (user space, a BPF chain, or a remote
+    target) while the tree keeps serving reads — and keeps accepting
+    memtable flushes: :meth:`LsmTree.apply_compaction` removes exactly
+    the planned inputs, so tables that landed meanwhile survive.
+    """
+
+    __slots__ = ("level", "upper", "lower", "drop_tombstones")
+
+    def __init__(self, level: int, upper: List[Tuple[str, "SsTable"]],
+                 lower: List[Tuple[str, "SsTable"]],
+                 drop_tombstones: bool):
+        self.level = level
+        #: Tables from ``levels[level]`` (the newer run being pushed down).
+        self.upper = list(upper)
+        #: Tables from ``levels[level + 1]`` (the older resident run).
+        self.lower = list(lower)
+        self.drop_tombstones = drop_tombstones
+
+    @property
+    def inputs(self) -> List[Tuple[str, "SsTable"]]:
+        """All input tables (upper first — the unlink order)."""
+        return self.upper + self.lower
+
+    @property
+    def merge_order(self) -> List[Tuple[str, "SsTable"]]:
+        """Inputs ordered oldest first, so newer entries overwrite."""
+        return self.lower + self.upper
+
+    def input_paths(self) -> List[str]:
+        """Paths oldest first (the order an offloaded merge scans)."""
+        return [path for path, _table in self.merge_order]
+
+    def __repr__(self) -> str:
+        return (f"CompactionPlan(level={self.level}, "
+                f"inputs={len(self.upper) + len(self.lower)}, "
+                f"drop_tombstones={self.drop_tombstones})")
+
+
 class LsmTree:
     """Memtable + L0 + leveled runs over files in the simulated FS."""
 
@@ -280,6 +323,12 @@ class LsmTree:
         self._sequence += 1
         return f"{self.directory}/sst-{self._sequence:06d}"
 
+    def reserve_table_path(self) -> str:
+        """Allocate a table path for an externally-written output table
+        (the compaction engine writes through timed syscalls, then hands
+        the finished table to :meth:`apply_compaction`)."""
+        return self._new_table_path()
+
     def _write_table(self, path: str,
                      items: List[Tuple[int, int]]) -> SsTable:
         inode = self.fs.create(path)
@@ -309,29 +358,74 @@ class LsmTree:
 
     def _compact(self, level: int) -> None:
         """Merge ``level`` into ``level + 1`` and unlink the inputs."""
+        plan = self.plan_compaction(level)
+        if plan is None:
+            return
+        merged = self._merge_tables(
+            [table for _path, table in plan.merge_order],
+            drop_tombstones=plan.drop_tombstones,
+        )
+        self.apply_compaction(plan, merged)
+
+    def plan_compaction(self, level: int) -> Optional["CompactionPlan"]:
+        """Snapshot the inputs of a ``level -> level + 1`` compaction.
+
+        Returns None when both levels are empty.  The tree itself is
+        not modified (beyond growing the level list), so the caller can
+        run the merge asynchronously — through chains or a remote
+        target — and install the result with :meth:`apply_compaction`.
+
+        Tombstones are dropped only when no level *below* the target
+        holds data: a tombstone must shadow every older version of its
+        key before it can be garbage-collected.  (Checking for live
+        tables rather than "target is the last level" also collects
+        tombstones when trailing levels exist but are empty.)
+        """
         while len(self.levels) <= level + 1:
             self.levels.append([])
-        inputs = self.levels[level] + self.levels[level + 1]
-        if not inputs:
-            return
-        # Merge oldest-first so newer entries overwrite: the deeper level
-        # is older than the level being pushed down into it.
-        oldest_first = self.levels[level + 1] + self.levels[level]
-        merged = self._merge_tables(
-            [table for _path, table in oldest_first],
-            drop_tombstones=(level + 1 == len(self.levels) - 1),
-        )
-        self.levels[level] = []
-        if merged:
+        upper = list(self.levels[level])
+        lower = list(self.levels[level + 1])
+        if not upper and not lower:
+            return None
+        drop = not any(self.levels[i]
+                       for i in range(level + 2, len(self.levels)))
+        return CompactionPlan(level, upper, lower, drop)
+
+    def apply_compaction(self, plan: "CompactionPlan",
+                         merged: List[Tuple[int, int]],
+                         output: Optional[Tuple[str, SsTable]] = None
+                         ) -> Optional[Tuple[str, SsTable]]:
+        """Install the result of a planned (possibly offloaded) merge.
+
+        ``merged`` is the merged item list, already tombstone-filtered
+        when the plan says so.  ``output`` optionally names an output
+        table the executor wrote itself (e.g. through timed syscalls);
+        when None and ``merged`` is non-empty the table is written here.
+        Exactly the planned inputs are removed from the two levels —
+        tables flushed while the merge ran survive — and then unlinked,
+        which fires the extent unmap/invalidation events concurrent
+        chain gets recover from.
+        """
+        if output is None and merged:
             path = self._new_table_path()
-            self.levels[level + 1] = [(path, self._write_table(path,
-                                                               merged))]
-        else:
-            self.levels[level + 1] = []
-        for path, _table in inputs:
+            output = (path, self._write_table(path, merged))
+        planned = {path for path, _table in plan.inputs}
+        self.levels[plan.level] = [
+            entry for entry in self.levels[plan.level]
+            if entry[0] not in planned
+        ]
+        survivors = [
+            entry for entry in self.levels[plan.level + 1]
+            if entry[0] not in planned
+        ]
+        if output is not None:
+            survivors.append(output)
+        self.levels[plan.level + 1] = survivors
+        for path, _table in plan.inputs:
             self.fs.unlink(path)  # fires the unmap/invalidation hook
             self.tables_deleted += 1
         self.compactions += 1
+        return output
 
     def _merge_tables(self, tables: List[SsTable],
                       drop_tombstones: bool) -> List[Tuple[int, int]]:

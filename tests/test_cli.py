@@ -21,7 +21,7 @@ def test_experiment_names_all_registered():
     expected = {"fig1", "table1", "fig3a", "fig3b", "fig3c", "fig3d",
                 "stability", "bound", "churn", "vmmode", "appcache",
                 "interference", "resilience", "crash", "scale",
-                "pushdown", "cluster", "tenants"}
+                "pushdown", "cluster", "tenants", "compaction"}
     assert set(_EXPERIMENTS) == expected
 
 

@@ -8,7 +8,7 @@ from repro.device import BlockDevice
 from repro.errors import InvalidArgument
 from repro.kernel.extfs import ExtFs
 from repro.structures import KvStore, LsmTree, MemoryBackend, SsTable
-from repro.structures.lsm import TOMBSTONE, BloomFilter
+from repro.structures.lsm import TOMBSTONE, BloomFilter, CompactionPlan
 
 
 def make_fs(blocks=4096):
@@ -206,6 +206,127 @@ def test_lsm_matches_dict_reference(operations):
             reference[key] = value
     for key in range(0, 201, 7):
         assert lsm.get(key) == reference.get(key)
+
+
+# ---------------------------------------------------------------------------
+# Compaction planning (the repro.compact seam)
+# ---------------------------------------------------------------------------
+
+
+def test_lsm_tombstone_drop_survives_trailing_empty_levels():
+    # Regression: the old bottom-level check compared against
+    # len(levels) - 1, so planning at a deep level (which extends the
+    # levels list with empty slots) made every later level-0 compaction
+    # keep its tombstones forever.
+    lsm = LsmTree(make_fs(), "/db", memtable_limit=64, l0_limit=8)
+    for key in range(40):
+        lsm.put(key, key)
+    for key in range(0, 40, 2):
+        lsm.delete(key)
+    lsm.flush()
+    assert lsm.plan_compaction(2) is None  # extends levels with empties
+    assert len(lsm.levels) >= 4
+    plan = lsm.plan_compaction(0)
+    assert plan.drop_tombstones  # empty trailing levels are not "deeper data"
+    lsm._compact(0)
+    merged = list(lsm.levels[1][0][1].entries())
+    assert all(value != TOMBSTONE for _key, value in merged)
+    assert len(merged) == 20
+
+
+def test_lsm_tombstones_kept_above_populated_bottom():
+    lsm = LsmTree(make_fs(), "/db", memtable_limit=64, l0_limit=8)
+    for key in range(20):
+        lsm.put(key, key)
+    lsm.flush()
+    lsm._compact(0)
+    lsm._compact(1)  # push the data to level 2
+    lsm.delete(3)
+    lsm.flush()
+    plan = lsm.plan_compaction(0)
+    assert not plan.drop_tombstones  # level 2 still holds key 3
+    lsm._compact(0)
+    merged = list(lsm.levels[1][0][1].entries())
+    assert (3, TOMBSTONE) in merged
+    assert lsm.get(3) is None
+
+
+def test_lsm_overlapping_l0_merge_order_newest_wins():
+    lsm = LsmTree(make_fs(), "/db", memtable_limit=64, l0_limit=8)
+    for value in (1, 2, 3):  # three overlapping runs, same key range
+        for key in range(10):
+            lsm.put(key, value * 100 + key)
+        lsm.flush()
+    plan = lsm.plan_compaction(0)
+    # merge_order folds oldest first so the newest run wins the upsert.
+    assert plan.merge_order[-1] == lsm.levels[0][-1]
+    lsm._compact(0)
+    assert len(lsm.levels[0]) == 0
+    merged = list(lsm.levels[1][0][1].entries())
+    assert merged == [(key, 300 + key) for key in range(10)]
+
+
+def test_lsm_single_run_trivial_compaction():
+    lsm = LsmTree(make_fs(), "/db", memtable_limit=64, l0_limit=8)
+    for key in range(10):
+        lsm.put(key, key * 7)
+    lsm.flush()
+    before = list(lsm.levels[0][0][1].entries())
+    lsm._compact(0)
+    assert len(lsm.levels[0]) == 0
+    assert len(lsm.levels[1]) == 1
+    assert list(lsm.levels[1][0][1].entries()) == before
+    assert lsm.compactions == 1
+    assert lsm.tables_deleted == 1
+
+
+def test_lsm_flush_during_compaction_survives():
+    # A memtable flush that lands between plan and apply (the
+    # CompactionEngine window) must not be clobbered by the level swap.
+    lsm = LsmTree(make_fs(), "/db", memtable_limit=64, l0_limit=8)
+    for key in range(10):
+        lsm.put(key, 1)
+    lsm.flush()
+    plan = lsm.plan_compaction(0)
+    merged = lsm._merge_tables([table for _p, table in plan.merge_order],
+                               drop_tombstones=plan.drop_tombstones)
+    for key in range(5):
+        lsm.put(key, 2)  # concurrent writer
+    lsm.flush()          # new L0 table mid-compaction
+    lsm.apply_compaction(plan, merged)
+    assert len(lsm.levels[0]) == 1  # the mid-compaction flush survived
+    for key in range(10):
+        assert lsm.get(key) == (2 if key < 5 else 1)
+
+
+def test_lsm_compaction_invalidates_every_input_table():
+    fs = make_fs()
+    lsm = LsmTree(fs, "/db", memtable_limit=64, l0_limit=8)
+    for run in range(3):
+        for key in range(10):
+            lsm.put(key + run * 5, run)
+        lsm.flush()
+    plan = lsm.plan_compaction(0)
+    input_inodes = {fs.lookup(path).number for path in plan.input_paths()}
+    unmapped = set()
+    fs.extent_change_listeners.append(
+        lambda inode, kind: unmapped.add(inode.number)
+        if kind == "unmap" else None)
+    merged = lsm._merge_tables([table for _p, table in plan.merge_order],
+                               drop_tombstones=plan.drop_tombstones)
+    lsm.apply_compaction(plan, merged)
+    # Every unlinked input fired the unmap hook (NVMe extent-cache
+    # invalidation), so concurrent chain gets fail closed, not stale.
+    assert input_inodes <= unmapped
+
+
+def test_compaction_plan_orders_inputs_and_merge():
+    upper = [("/db/2", "t2"), ("/db/3", "t3")]
+    lower = [("/db/1", "t1")]
+    plan = CompactionPlan(0, upper, lower, True)
+    assert plan.inputs == upper + lower
+    assert plan.merge_order == lower + upper  # oldest data folds first
+    assert plan.input_paths() == ["/db/1", "/db/2", "/db/3"]
 
 
 # ---------------------------------------------------------------------------
